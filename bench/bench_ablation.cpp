@@ -1,0 +1,148 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//
+//   A. Algorithm 2 interpretation — default (FP64 diagonal consumers
+//      up-cast, STC allowed) vs the literal pseudocode (diagonal consumers
+//      veto STC on panels): STC fraction and simulated time.
+//   B. Scheduler priorities — PaRSEC-style priorities vs FIFO-by-readiness:
+//      without priorities the latency-critical panel chain queues behind
+//      trailing GEMMs and STC loses its advantage.
+//   C. Precision ladder — FP64-only, +FP32, +FP16_32, full, and with
+//      BF16_32 swapped in: application-level time on one V100.
+//   D. Tile size — the paper reports 2048 as the tuned value; sweep
+//      1024/2048/4096 at fixed matrix size.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace mpgeo;
+using namespace mpgeo::bench;
+
+namespace {
+
+SimReport run(const PrecisionMap& pmap, const CommMap& cmap,
+              const ClusterConfig& cluster, std::size_t tile,
+              bool priorities = true) {
+  SimGraphOptions gopts;
+  gopts.tile = tile;
+  const TaskGraph g = build_cholesky_sim_graph(pmap, cmap, cluster, gopts);
+  SimOptions sopts;
+  sopts.tile = tile;
+  sopts.priority_scheduling = priorities;
+  return simulate(g, cluster, sopts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t tile = std::size_t(cli.get_int("tile", 2048));
+  const std::size_t nt = std::size_t(cli.get_int("nt", 32));
+  cli.check_unused();
+
+  const ClusterConfig summit_node = summit_cluster(1);
+
+  std::cout << "== A. Algorithm 2: default vs literal diagonal-consumer veto "
+               "(FP64/FP16_32 map, Summit node, matrix "
+            << nt * tile << ") ==\n\n";
+  {
+    const PrecisionMap pmap = uniform_precision_map(nt, Precision::FP16_32);
+    Table t({"variant", "STC senders %", "Tflop/s", "bytes moved GiB"});
+    for (const bool veto : {false, true}) {
+      CommMapOptions copts;
+      copts.diagonal_consumers_veto = veto;
+      const CommMap cmap = build_comm_map(pmap, copts);
+      const SimReport r = run(pmap, cmap, summit_node, tile);
+      t.add_row({veto ? "literal (veto)" : "default (up-cast)",
+                 Table::num(100.0 * cmap.stc_fraction(pmap), 1),
+                 Table::num(r.tflops(), 1), gib(r.total_transfer_bytes())});
+    }
+    t.print(std::cout);
+    std::cout << "\n(The literal reading forbids STC on every panel, forcing "
+                 "storage-width broadcasts: more bytes, less overlap.)\n\n";
+  }
+
+  std::cout << "== B. Scheduler priorities vs FIFO (FP64/FP16_32, STC, "
+               "4 Summit nodes, strong-scaling regime) ==\n\n";
+  {
+    // Priorities matter most when the panel's critical path competes with
+    // abundant trailing work across many devices.
+    const ClusterConfig nodes4 = summit_cluster(4);
+    const PrecisionMap pmap =
+        uniform_precision_map(2 * nt, Precision::FP16_32);
+    const CommMap stc = build_comm_map(pmap, {});
+    CommMapOptions topts;
+    topts.strategy = ConversionStrategy::AllTTC;
+    const CommMap ttc = build_comm_map(pmap, topts);
+    Table t({"scheduler", "STC Tflop/s", "TTC Tflop/s", "STC/TTC"});
+    for (const bool prio : {true, false}) {
+      const double s = run(pmap, stc, nodes4, tile, prio).tflops();
+      const double tt = run(pmap, ttc, nodes4, tile, prio).tflops();
+      t.add_row({prio ? "priorities (PaRSEC-style)" : "FIFO",
+                 Table::num(s, 1), Table::num(tt, 1), Table::num(s / tt, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\n(Priorities pull the panel chain — POTRF, TRSMs and "
+                 "their broadcasts — ahead of queued trailing updates; "
+                 "FIFO leaves downstream devices idling on late panels.)\n\n";
+  }
+
+  std::cout << "== C. Precision ladder (2D-sqexp map at u_req 1e-4, one "
+               "V100) ==\n\n";
+  {
+    const ClusterConfig v100 = single_gpu(GpuModel::V100);
+    struct LadderCase {
+      std::string name;
+      std::vector<Precision> ladder;
+    };
+    const std::vector<LadderCase> ladders = {
+        {"FP64 only", {Precision::FP64}},
+        {"+FP32", {Precision::FP64, Precision::FP32}},
+        {"+FP16_32", {Precision::FP64, Precision::FP32, Precision::FP16_32}},
+        {"full (paper)", default_precision_ladder()},
+        {"BF16_32 instead",
+         {Precision::FP64, Precision::FP32, Precision::BF16_32,
+          Precision::FP16}},
+    };
+    const AppConfig app = paper_applications()[0];
+    Rng rng(42);
+    LocationSet locs = generate_locations(nt * tile, app.dim, rng);
+    const Covariance cov(app.kind);
+    Table t({"ladder", "Tflop/s", "speedup vs FP64"});
+    double fp64 = 0;
+    for (const LadderCase& lc : ladders) {
+      const PrecisionMap pmap =
+          sampled_precision_map(cov, locs, app.theta, nt, tile, app.u_req,
+                                lc.ladder, 160, rng, app.fp16_32_eps);
+      const CommMap cmap = build_comm_map(pmap, {});
+      const double tf = run(pmap, cmap, v100, tile).tflops();
+      if (fp64 == 0) fp64 = tf;
+      t.add_row({lc.name, Table::num(tf, 1), Table::num(tf / fp64, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\n(BF16_32 lands where FP16_32 does — same peak on the "
+                 "studied GPUs — which is why the paper drops it.)\n\n";
+  }
+
+  std::cout << "== D. Tile size sweep (FP64/FP16, STC, one V100, matrix "
+            << nt * tile << ") ==\n\n";
+  {
+    const ClusterConfig v100 = single_gpu(GpuModel::V100);
+    const std::size_t matrix = nt * tile;
+    Table t({"tile", "NT", "Tflop/s"});
+    for (const std::size_t b : {tile / 2, tile, tile * 2}) {
+      const std::size_t local_nt = matrix / b;
+      const PrecisionMap pmap = uniform_precision_map(local_nt, Precision::FP16);
+      const CommMap cmap = build_comm_map(pmap, {});
+      t.add_row({std::to_string(b), std::to_string(local_nt),
+                 Table::num(run(pmap, cmap, v100, b).tflops(), 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\n(Small tiles starve the tensor cores; huge tiles lose "
+                 "pipeline parallelism and make transfers lumpy — the "
+                 "2048 sweet spot the paper tuned.)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduction of Fig 5: Monte-Carlo parameter estimation quality for 2D
+// synthetic datasets under mixed-precision accuracies.
+//
+// For each configuration (squared-exponential weak/strong correlation;
+// Matérn weak/strong x rough/smooth) and each accuracy level (exact FP64,
+// 1e-9, 1e-4, 1e-1) we draw R replicated datasets from theta_true, run the
+// full MLE through the mixed-precision Cholesky via the library's
+// Monte-Carlo driver, and print the boxplot statistics (q25 / median / q75)
+// of each recovered parameter.
+//
+// Paper scale: 100 replicas of 40,000 locations on Summit. Default here:
+// --replicas 3 --n 196 so the bench completes on one CPU; both are flags.
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/monte_carlo.hpp"
+#include "stats/covariance.hpp"
+
+using namespace mpgeo;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t n = std::size_t(cli.get_int("n", 196));
+  const int replicas = int(cli.get_int("replicas", 3));
+  const std::size_t tile = std::size_t(cli.get_int("tile", 49));
+  const int max_evals = int(cli.get_int("max-evals", 100));
+  cli.check_unused();
+
+  struct McConfig {
+    std::string name;
+    CovKind kind;
+    std::vector<double> truth;
+  };
+  const std::vector<McConfig> configs = {
+      {"2D-sqexp weak (beta=0.03)", CovKind::SqExp, {1.0, 0.03}},
+      {"2D-sqexp strong (beta=0.3)", CovKind::SqExp, {1.0, 0.3}},
+      {"2D-Matern weak rough", CovKind::Matern, {1.0, 0.03, 0.5}},
+      {"2D-Matern weak smooth", CovKind::Matern, {1.0, 0.03, 1.0}},
+      {"2D-Matern strong rough", CovKind::Matern, {1.0, 0.3, 0.5}},
+      {"2D-Matern strong smooth", CovKind::Matern, {1.0, 0.3, 1.0}},
+  };
+  struct Level {
+    std::string name;
+    bool exact;
+    double u_req;
+  };
+  const std::vector<Level> levels = {
+      {"exact", true, 0},
+      {"1e-9", false, 1e-9},
+      {"1e-4", false, 1e-4},
+      {"1e-1", false, 1e-1},
+  };
+
+  std::cout << "== Fig 5: 2D Monte-Carlo parameter estimation (" << replicas
+            << " replicas, n=" << n << ") ==\n"
+            << "Each cell: q25 / median / q75 of the estimates; the target "
+               "is the generating value.\n\n";
+
+  for (const McConfig& cfg : configs) {
+    const Covariance cov(cfg.kind);
+    std::cout << "-- " << cfg.name << " --\n";
+    std::vector<std::string> headers = {"accuracy"};
+    for (std::size_t p = 0; p < cov.num_params(); ++p) {
+      headers.push_back(cov.param_names()[p] + " (true " +
+                        Table::num(cfg.truth[p], 2) + ")");
+    }
+    Table t(headers);
+    for (const Level& level : levels) {
+      MonteCarloConfig mc;
+      mc.n = n;
+      mc.dim = 2;
+      mc.replicas = replicas;
+      mc.mle.exact = level.exact;
+      mc.mle.u_req = level.exact ? 1e-15 : level.u_req;
+      mc.mle.tile = tile;
+      mc.mle.optim.max_evaluations = max_evals;
+      mc.mle.optim.tolerance = 1e-6;
+      const MonteCarloResult r = run_monte_carlo(cov, cfg.truth, mc);
+      std::vector<std::string> row = {level.name};
+      for (std::size_t p = 0; p < cov.num_params(); ++p) {
+        if (r.estimates[p].empty()) {
+          row.push_back("all replicas failed");
+          continue;
+        }
+        const ParameterSummary& s = r.summary[p];
+        row.push_back(Table::num(s.q25, 3) + " / " + Table::num(s.median, 3) +
+                      " / " + Table::num(s.q75, 3));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "(Expected shape per the paper: 1e-9 indistinguishable from "
+               "exact; 1e-4 acceptable for sqexp but visibly off for Matern;"
+               " 1e-1 degraded everywhere.)\n";
+  return 0;
+}

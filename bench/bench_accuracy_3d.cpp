@@ -1,0 +1,76 @@
+// Reproduction of Fig 6: Monte-Carlo parameter estimation for 3D synthetic
+// datasets (squared-exponential covariance) with weak and strong correlation
+// under mixed-precision accuracies {exact, 1e-8, 1e-4, 1e-1}. Fig 6's
+// finding: 1e-8 is indistinguishable from the exact solution in 3D.
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/monte_carlo.hpp"
+#include "stats/covariance.hpp"
+
+using namespace mpgeo;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t n = std::size_t(cli.get_int("n", 216));  // 6^3 grid
+  const int replicas = int(cli.get_int("replicas", 3));
+  const std::size_t tile = std::size_t(cli.get_int("tile", 54));
+  const int max_evals = int(cli.get_int("max-evals", 100));
+  cli.check_unused();
+
+  struct Config {
+    std::string name;
+    std::vector<double> truth;
+  };
+  const std::vector<Config> configs = {
+      {"3D-sqexp weak (beta=0.03)", {1.0, 0.03}},
+      {"3D-sqexp strong (beta=0.3)", {1.0, 0.3}},
+  };
+  struct Level {
+    std::string name;
+    bool exact;
+    double u_req;
+  };
+  const std::vector<Level> levels = {
+      {"exact", true, 0},
+      {"1e-8", false, 1e-8},
+      {"1e-4", false, 1e-4},
+      {"1e-1", false, 1e-1},
+  };
+
+  std::cout << "== Fig 6: 3D Monte-Carlo parameter estimation (" << replicas
+            << " replicas, n=" << n << ") ==\n\n";
+  const Covariance cov(CovKind::SqExp);
+  for (const Config& cfg : configs) {
+    std::cout << "-- " << cfg.name << " --\n";
+    Table t({"accuracy", "sigma2 (true " + Table::num(cfg.truth[0], 2) + ")",
+             "beta (true " + Table::num(cfg.truth[1], 2) + ")"});
+    for (const Level& level : levels) {
+      MonteCarloConfig mc;
+      mc.n = n;
+      mc.dim = 3;
+      mc.replicas = replicas;
+      mc.seed = 3000;
+      mc.mle.exact = level.exact;
+      mc.mle.u_req = level.exact ? 1e-15 : level.u_req;
+      mc.mle.tile = tile;
+      mc.mle.optim.max_evaluations = max_evals;
+      mc.mle.optim.tolerance = 1e-6;
+      const MonteCarloResult r = run_monte_carlo(cov, cfg.truth, mc);
+      auto cell = [&](std::size_t p) -> std::string {
+        if (r.estimates[p].empty()) return "all replicas failed";
+        const ParameterSummary& s = r.summary[p];
+        return Table::num(s.q25, 3) + " / " + Table::num(s.median, 3) + " / " +
+               Table::num(s.q75, 3);
+      };
+      t.add_row({level.name, cell(0), cell(1)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "(Paper's Fig 6: accuracy 1e-8 yields estimates highly close "
+               "to exact in 3D.)\n";
+  return 0;
+}

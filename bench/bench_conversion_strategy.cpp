@@ -1,0 +1,67 @@
+// Reproduction of Fig 8: performance of the precision conversion strategies
+// on one GPU of each generation, under the paper's two extreme
+// configurations (FP64/FP16_32 and FP64/FP16: FP64 diagonal, everything
+// else at the named format) plus the pure FP64 and FP32 baselines.
+//
+// STC is an upper bound (all panel broadcasts converted at the sender, wire
+// = 16-bit), TTC a lower bound (everything ships at storage width, every
+// consumer converts). Matrices larger than GPU memory run out-of-core
+// against host memory, exactly the regime where the wire width decides
+// whether transfers hide behind compute.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace mpgeo;
+using namespace mpgeo::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t tile = std::size_t(cli.get_int("tile", 2048));
+  const std::size_t max_nt = std::size_t(cli.get_int("max-nt", 60));
+  cli.check_unused();
+
+  std::vector<std::size_t> nts;
+  for (std::size_t nt = 12; nt <= max_nt; nt += 12) nts.push_back(nt);
+
+  for (GpuModel model : {GpuModel::V100, GpuModel::A100, GpuModel::H100}) {
+    const ClusterConfig cluster = single_gpu(model);
+    std::cout << "== Fig 8 (" << cluster.gpu.name << "): Cholesky Tflop/s, "
+              << "tile " << tile << " ==\n\n";
+    Table t({"matrix", "FP64", "FP32", "F64/F16_32 TTC", "F64/F16_32 STC",
+             "F64/F16 TTC", "F64/F16 STC", "STC/TTC", "F16-STC/FP64"});
+    for (const std::size_t nt : nts) {
+      auto run = [&](Precision off, ConversionStrategy strat) {
+        const PrecisionMap pmap = uniform_precision_map(nt, off);
+        return simulate_cholesky(pmap, strat, cluster, tile).tflops();
+      };
+      const double fp64 = run(Precision::FP64, ConversionStrategy::Auto);
+      const double fp32 = run(Precision::FP32, ConversionStrategy::Auto);
+      const double h32_ttc = run(Precision::FP16_32, ConversionStrategy::AllTTC);
+      const double h32_stc = run(Precision::FP16_32, ConversionStrategy::Auto);
+      const double h16_ttc = run(Precision::FP16, ConversionStrategy::AllTTC);
+      const double h16_stc = run(Precision::FP16, ConversionStrategy::Auto);
+      t.add_row({std::to_string(nt * tile), Table::num(fp64, 1),
+                 Table::num(fp32, 1), Table::num(h32_ttc, 1),
+                 Table::num(h32_stc, 1), Table::num(h16_ttc, 1),
+                 Table::num(h16_stc, 1), Table::num(h16_stc / h16_ttc, 2),
+                 Table::num(h16_stc / fp64, 2)});
+    }
+    t.print(std::cout);
+    const GpuSpec spec = cluster.gpu;
+    const std::size_t nt = nts.back();
+    const PrecisionMap pmap = uniform_precision_map(nt, Precision::FP64);
+    const double fp64 =
+        simulate_cholesky(pmap, ConversionStrategy::Auto, cluster, tile).tflops();
+    std::cout << "\nefficiency vs theoretical peak at largest size: FP64 "
+              << Table::num(100.0 * fp64 / spec.peak_tflops(Precision::FP64), 1)
+              << "%\n\n";
+  }
+  std::cout << "(Paper shapes: STC > TTC everywhere, up to ~1.3x on V100 / "
+               "1.41x on A100 / 1.27x on H100; FP64/FP16 up to ~11x over "
+               "FP64 on V100/A100, less on H100.)\n";
+  return 0;
+}

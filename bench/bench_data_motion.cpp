@@ -1,0 +1,76 @@
+// The paper's headline quantity: data motion. For each configuration this
+// bench reports (a) the closed-form broadcast payload of Algorithm 2's comm
+// map (one logical send per consumer) and (b) the bytes the discrete-event
+// simulator actually moves per link class (host, peer, network) under STC
+// vs TTC — on one out-of-core V100 and on a 4-node Summit slice.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace mpgeo;
+using namespace mpgeo::bench;
+
+namespace {
+
+void motion_table(const std::string& title, const ClusterConfig& cluster,
+                  std::size_t nt, std::size_t tile) {
+  std::cout << "-- " << title << " (matrix " << nt * tile << ") --\n";
+  Table t({"config", "strategy", "logical payload GiB", "H2D GiB", "D2H GiB",
+           "peer GiB", "network GiB", "total moved GiB"});
+  struct Case {
+    std::string name;
+    PrecisionMap pmap;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"FP64", uniform_precision_map(nt, Precision::FP64)});
+  cases.push_back({"F64/F16_32", uniform_precision_map(nt, Precision::FP16_32)});
+  cases.push_back({"F64/F16", uniform_precision_map(nt, Precision::FP16)});
+  const AppConfig app = paper_applications()[0];
+  cases.push_back({"MP 2D-sqexp", app_precision_map(app, nt, tile, 128)});
+
+  for (const Case& c : cases) {
+    for (const ConversionStrategy strat :
+         {ConversionStrategy::AllTTC, ConversionStrategy::Auto}) {
+      CommMapOptions copts;
+      copts.strategy = strat;
+      const CommMap cmap = build_comm_map(c.pmap, copts);
+      SimGraphOptions gopts;
+      gopts.tile = tile;
+      const TaskGraph g = build_cholesky_sim_graph(c.pmap, cmap, cluster, gopts);
+      SimOptions sopts;
+      sopts.tile = tile;
+      const SimReport r = simulate(g, cluster, sopts);
+      t.add_row({c.name, to_string(strat),
+                 gib(broadcast_payload_bytes(c.pmap, cmap, tile)),
+                 gib(r.host_to_device_bytes), gib(r.device_to_host_bytes),
+                 gib(r.peer_bytes), gib(r.network_bytes),
+                 gib(r.total_transfer_bytes())});
+    }
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t tile = std::size_t(cli.get_int("tile", 2048));
+  const std::size_t nt = std::size_t(cli.get_int("nt", 56));
+  cli.check_unused();
+
+  std::cout << "== Data motion under the automated conversion strategy ==\n\n";
+  motion_table("one V100, out-of-core", single_gpu(GpuModel::V100), nt, tile);
+  motion_table("4 Summit nodes (24 GPUs)", summit_cluster(4), nt, tile);
+  std::cout
+      << "(Reading: STC cuts the logical payload roughly in half in the\n"
+         "16-bit configurations — FP16 wire vs FP32 storage — and the\n"
+         "simulator's moved-bytes columns show where that lands physically:\n"
+         "H2D on the out-of-core single GPU, peer/NIC traffic on the\n"
+         "multi-node slice. This is the mechanism behind every speedup in\n"
+         "Figs 8-12 and the 'reducing data motion' of the title.)\n";
+  return 0;
+}

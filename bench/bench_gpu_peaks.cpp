@@ -1,0 +1,44 @@
+// Reproduction of Table I: theoretical peak performance (Tflop/s) of the
+// Nvidia GPUs in the paper's testbeds, per floating-point format, as encoded
+// in the simulator's hardware specs.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "gpusim/gpu_specs.hpp"
+
+using namespace mpgeo;
+
+int main() {
+  std::cout << "== Table I: Peak performance of Nvidia GPUs (Tflop/s) ==\n\n";
+  Table t({"Precision", "V100 (NVLink)", "A100 (SXM)", "H100 (PCIe)"});
+  const GpuSpec v100 = v100_spec();
+  const GpuSpec a100 = a100_spec();
+  const GpuSpec h100 = h100_spec();
+
+  auto row = [&](const std::string& label, double v, double a, double h) {
+    auto cell = [](double x) { return x > 0 ? Table::num(x, 1) : std::string("-"); };
+    t.add_row({label, cell(v), cell(a), cell(h)});
+  };
+  // V100 has no FP64 tensor cores; A100/H100 FP64-tensor matches FP32.
+  row("FP64", v100.fp64_tflops, 9.7, 25.6);
+  row("FP64 Tensor", 0, a100.fp64_tflops, h100.fp64_tflops);
+  row("FP32", v100.fp32_tflops, a100.fp32_tflops, h100.fp32_tflops);
+  row("TF32 Tensor", v100.tf32_tflops, a100.tf32_tflops, h100.tf32_tflops);
+  row("FP16 Tensor", v100.fp16_tensor_tflops, a100.fp16_tensor_tflops,
+      h100.fp16_tensor_tflops);
+  row("BF16 Tensor", v100.bf16_tensor_tflops, a100.bf16_tensor_tflops,
+      h100.bf16_tensor_tflops);
+  t.print(std::cout);
+
+  std::cout << "\n== Link / memory / power parameters (model inputs) ==\n\n";
+  Table p({"GPU", "HBM GB/s", "Host link GB/s", "Peer GB/s", "Memory GiB",
+           "TDP W", "Idle W"});
+  for (const GpuSpec& s : {v100, a100, h100}) {
+    p.add_row({to_string(s.model), Table::num(s.hbm_bandwidth_gbs, 0),
+               Table::num(s.host_link_gbs, 0), Table::num(s.peer_link_gbs, 0),
+               Table::num(double(s.memory_bytes) / double(1ull << 30), 0),
+               Table::num(s.tdp_watts, 0), Table::num(s.idle_watts, 0)});
+  }
+  p.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// google-benchmark microbenchmarks of the CPU substrate itself: emulated
+// mixed-precision GEMM, format conversions, Bessel K_nu, covariance tile
+// generation and the task-graph machinery. These measure *this library's*
+// throughput (the numeric path accuracy experiments run through), not the
+// simulated GPUs.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/mp_cholesky.hpp"
+#include "core/tiled_covariance.hpp"
+#include "precision/convert.hpp"
+#include "precision/mixed_gemm.hpp"
+#include "runtime/executor.hpp"
+#include "stats/besselk.hpp"
+#include "stats/covariance.hpp"
+#include "stats/locations.hpp"
+
+namespace {
+
+using namespace mpgeo;
+
+void BM_MixedGemm(benchmark::State& state) {
+  const auto prec = static_cast<Precision>(state.range(0));
+  const std::size_t n = std::size_t(state.range(1));
+  Rng rng(1);
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (auto& x : a) x = rng.uniform(-1, 1);
+  for (auto& x : b) x = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    mixed_gemm(prec, 'N', 'T', n, n, n, -1.0, a.data(), n, b.data(), n, 1.0,
+               c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(2 * n * n * n));
+}
+BENCHMARK(BM_MixedGemm)
+    ->Args({int(Precision::FP64), 128})
+    ->Args({int(Precision::FP32), 128})
+    ->Args({int(Precision::FP16_32), 128})
+    ->Args({int(Precision::FP16), 128});
+
+void BM_ConvertFp64ToFp16(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  std::vector<double> src(n, 1.2345);
+  std::vector<float16> dst(n);
+  for (auto _ : state) {
+    convert(std::span<const double>(src), std::span<float16>(dst));
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(n) * 10);
+}
+BENCHMARK(BM_ConvertFp64ToFp16)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_BesselK(benchmark::State& state) {
+  const double nu = double(state.range(0)) / 10.0;
+  double x = 0.013;
+  for (auto _ : state) {
+    x = x < 40.0 ? x * 1.01 : 0.013;  // sweep both regimes
+    benchmark::DoNotOptimize(bessel_k(nu, x));
+  }
+}
+BENCHMARK(BM_BesselK)->Arg(5)->Arg(10)->Arg(15);
+
+void BM_CovarianceTileMatern(benchmark::State& state) {
+  const std::size_t nb = std::size_t(state.range(0));
+  Rng rng(2);
+  LocationSet locs = generate_locations(4 * nb, 2, rng);
+  const Covariance cov(CovKind::Matern);
+  const std::vector<double> theta = {1.0, 0.1, 0.7};
+  std::vector<double> out(nb * nb);
+  for (auto _ : state) {
+    covariance_tile(cov, locs, theta, nb, 0, nb, nb, out.data(), nb);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(nb * nb));
+}
+BENCHMARK(BM_CovarianceTileMatern)->Arg(32)->Arg(64);
+
+void BM_TaskGraphInsertion(benchmark::State& state) {
+  const std::size_t nt = std::size_t(state.range(0));
+  for (auto _ : state) {
+    TaskGraph g;
+    std::vector<DataId> data(nt * (nt + 1) / 2);
+    for (auto& d : data) d = g.add_data({});
+    auto did = [&](std::size_t m, std::size_t k) {
+      return data[m * (m + 1) / 2 + k];
+    };
+    for (std::size_t k = 0; k < nt; ++k) {
+      g.add_task({}, {{did(k, k), AccessMode::ReadWrite}});
+      for (std::size_t m = k + 1; m < nt; ++m) {
+        g.add_task({}, {{did(k, k), AccessMode::Read},
+                        {did(m, k), AccessMode::ReadWrite}});
+      }
+      for (std::size_t m = k + 1; m < nt; ++m) {
+        g.add_task({}, {{did(m, k), AccessMode::Read},
+                        {did(m, m), AccessMode::ReadWrite}});
+      }
+      for (std::size_t m = k + 2; m < nt; ++m) {
+        for (std::size_t n = k + 1; n < m; ++n) {
+          g.add_task({}, {{did(m, k), AccessMode::Read},
+                          {did(n, k), AccessMode::Read},
+                          {did(m, n), AccessMode::ReadWrite}});
+        }
+      }
+    }
+    benchmark::DoNotOptimize(g.num_tasks());
+  }
+  state.SetLabel("tasks=" + std::to_string(
+      (state.range(0) * (state.range(0) + 1) * (state.range(0) + 2)) / 6 +
+      state.range(0) * state.range(0)));
+}
+BENCHMARK(BM_TaskGraphInsertion)->Arg(16)->Arg(32);
+
+void BM_MpCholeskyNumeric(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  Rng rng(3);
+  LocationSet locs = generate_locations(n, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.1};
+  for (auto _ : state) {
+    TileMatrix tiles = build_tiled_covariance(cov, locs, theta, n / 4);
+    MpCholeskyOptions opts;
+    opts.u_req = 1e-9;
+    const auto r = mp_cholesky(tiles, opts);
+    benchmark::DoNotOptimize(r.info);
+  }
+}
+BENCHMARK(BM_MpCholeskyNumeric)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

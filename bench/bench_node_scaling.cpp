@@ -1,0 +1,60 @@
+// Reproduction of Fig 11: conversion-strategy performance on one full node
+// with multiple GPUs — a Summit node (6 x V100, NVLink) and Guyot
+// (8 x A100-SXM). Same configurations as Fig 8; the paper's observations:
+// near-linear scaling from one GPU to a node, >80% of peak for FP64/FP32,
+// STC over TTC up to 1.66x, FP64->FP64/FP16 up to ~9.75x (Summit) and
+// ~10.9x (Guyot).
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace mpgeo;
+using namespace mpgeo::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t tile = std::size_t(cli.get_int("tile", 2048));
+  const std::size_t max_nt = std::size_t(cli.get_int("max-nt", 72));
+  cli.check_unused();
+
+  struct Node {
+    std::string name;
+    ClusterConfig cluster;
+  };
+  const std::vector<Node> nodes = {
+      {"Summit node (6 x V100)", summit_cluster(1)},
+      {"Guyot (8 x A100)", guyot_node()},
+  };
+
+  for (const Node& node : nodes) {
+    const int g = node.cluster.total_gpus();
+    std::cout << "== Fig 11 (" << node.name << ") ==\n\n";
+    Table t({"matrix", "FP64", "FP32", "F64/F16_32 TTC", "F64/F16_32 STC",
+             "F64/F16 TTC", "F64/F16 STC", "STC/TTC", "F16-STC/FP64",
+             "FP64 % peak"});
+    for (std::size_t nt = 24; nt <= max_nt; nt += 16) {
+      auto run = [&](Precision off, ConversionStrategy strat) {
+        const PrecisionMap pmap = uniform_precision_map(nt, off);
+        return simulate_cholesky(pmap, strat, node.cluster, tile).tflops();
+      };
+      const double fp64 = run(Precision::FP64, ConversionStrategy::Auto);
+      const double fp32 = run(Precision::FP32, ConversionStrategy::Auto);
+      const double h32t = run(Precision::FP16_32, ConversionStrategy::AllTTC);
+      const double h32s = run(Precision::FP16_32, ConversionStrategy::Auto);
+      const double h16t = run(Precision::FP16, ConversionStrategy::AllTTC);
+      const double h16s = run(Precision::FP16, ConversionStrategy::Auto);
+      const double peak = g * node.cluster.gpu.peak_tflops(Precision::FP64);
+      t.add_row({std::to_string(nt * tile), Table::num(fp64, 1),
+                 Table::num(fp32, 1), Table::num(h32t, 1), Table::num(h32s, 1),
+                 Table::num(h16t, 1), Table::num(h16s, 1),
+                 Table::num(h16s / h16t, 2), Table::num(h16s / fp64, 2),
+                 Table::num(100.0 * fp64 / peak, 1)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

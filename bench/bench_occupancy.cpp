@@ -1,0 +1,85 @@
+// Reproduction of Fig 9: GPU occupancy over time on one H100 for the STC
+// runs of Fig 8's largest matrix, per configuration. The paper's finding:
+// FP64/FP32 sustain 100% occupancy (transfers fully overlapped); the
+// FP64/FP16_32 and FP64/FP16 configurations stay above ~80% — transfers
+// begin to peek through once kernels get 10x faster.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace mpgeo;
+using namespace mpgeo::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t tile = std::size_t(cli.get_int("tile", 2048));
+  const std::size_t nt = std::size_t(cli.get_int("nt", 48));
+  cli.check_unused();
+
+  const ClusterConfig cluster = haxane_node();
+  std::cout << "== Fig 9: H100 occupancy traces, matrix " << nt * tile
+            << " (STC) ==\n\n";
+
+  struct Config {
+    std::string name;
+    Precision off;
+  };
+  const std::vector<Config> configs = {
+      {"FP64", Precision::FP64},
+      {"FP32", Precision::FP32},
+      {"FP64/FP16_32", Precision::FP16_32},
+      {"FP64/FP16", Precision::FP16},
+  };
+
+  Table t({"config", "makespan s", "decile occupancy % (t/10 .. t)", "mean %",
+           "min %"});
+  for (const Config& cfg : configs) {
+    const PrecisionMap pmap = uniform_precision_map(nt, cfg.off);
+    CommMapOptions copts;
+    const CommMap cmap = build_comm_map(pmap, copts);
+    SimGraphOptions gopts;
+    gopts.tile = tile;
+    // Haxane's matrix is bounded by *host* memory (63 GB, Section VII-A):
+    // the tiles start host-resident and stream over PCIe, which is exactly
+    // what makes the 16-bit configurations dip below 100% occupancy.
+    gopts.device_side_generation = false;
+    const TaskGraph graph = build_cholesky_sim_graph(pmap, cmap, cluster, gopts);
+    SimOptions sopts;
+    sopts.tile = tile;
+    sopts.occupancy_sample_seconds = 0.0;  // set below from makespan
+    // First pass to size the sampling window at ~200 samples.
+    SimReport probe = simulate(graph, cluster, sopts);
+    sopts.occupancy_sample_seconds = probe.makespan_seconds / 200.0;
+    const SimReport r = simulate(graph, cluster, sopts);
+
+    const auto& occ = r.occupancy.at(0);
+    std::string deciles;
+    double mean = 0, mn = 1.0;
+    for (double v : occ) {
+      mean += v;
+      mn = std::min(mn, v);
+    }
+    mean /= double(occ.size());
+    for (int d = 0; d < 10; ++d) {
+      double acc = 0;
+      int cnt = 0;
+      for (std::size_t w = occ.size() * d / 10; w < occ.size() * (d + 1) / 10;
+           ++w) {
+        acc += occ[w];
+        ++cnt;
+      }
+      deciles += Table::num(100.0 * acc / std::max(cnt, 1), 0);
+      if (d != 9) deciles += " ";
+    }
+    t.add_row({cfg.name, Table::num(r.makespan_seconds, 2), deciles,
+               Table::num(100.0 * mean, 1), Table::num(100.0 * mn, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(Expected: FP64/FP32 rows pinned at ~100%; 16-bit rows "
+               "high but dipping where panel transfers surface — the tail "
+               "decile drops as the trailing matrix shrinks.)\n";
+  return 0;
+}

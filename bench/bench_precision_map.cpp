@@ -1,0 +1,97 @@
+// Reproduction of Fig 7 (kernel-precision tile percentages per application)
+// plus the Fig 2 / Fig 4 artifacts: an ASCII rendering of the kernel map,
+// the storage map, and the communication map with STC/TTC marks.
+//
+// Paper setting: matrix 409,600 with tile 2048 (NT = 200). NT and the tile
+// size are CLI-tunable; the default reproduces the paper's NT at reduced
+// per-tile sampling cost.
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace mpgeo;
+using namespace mpgeo::bench;
+
+namespace {
+
+char glyph(Precision p) {
+  switch (p) {
+    case Precision::FP64: return 'D';
+    case Precision::FP32: return 'S';
+    case Precision::FP16_32: return 'h';
+    case Precision::FP16: return 'q';
+    default: return '?';
+  }
+}
+
+void render_maps(const PrecisionMap& pmap, const CommMap& cmap,
+                 std::size_t display_nt) {
+  std::cout << "kernel map (D=FP64 S=FP32 h=FP16_32 q=FP16), first "
+            << display_nt << " tile rows; '*' marks STC senders:\n";
+  for (std::size_t m = 0; m < display_nt; ++m) {
+    std::cout << "  ";
+    for (std::size_t k = 0; k <= m; ++k) {
+      std::cout << glyph(pmap.kernel(m, k))
+                << (cmap.uses_stc(m, k, pmap) ? '*' : ' ');
+    }
+    std::cout << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t nt = std::size_t(cli.get_int("nt", 200));
+  const std::size_t tile = std::size_t(cli.get_int("tile", 2048));
+  const std::size_t samples = std::size_t(cli.get_int("samples", 192));
+  const std::size_t display = std::size_t(cli.get_int("display", 24));
+  cli.check_unused();
+
+  std::cout << "== Fig 7: kernel precision per tile, matrix " << nt * tile
+            << " (NT=" << nt << ", tile=" << tile << ") ==\n\n";
+
+  Table t({"application", "u_req", "FP64 %", "FP32 %", "FP16_32 %", "FP16 %",
+           "STC senders %"});
+  for (const AppConfig& app : paper_applications()) {
+    const PrecisionMap pmap = app_precision_map(app, nt, tile, samples);
+    const CommMap cmap = build_comm_map(pmap);
+    const auto f = pmap.tile_fractions();
+    auto pct = [&](Precision p) {
+      const auto it = f.find(p);
+      return Table::num(100.0 * (it == f.end() ? 0.0 : it->second), 1);
+    };
+    t.add_row({app.name, Table::sci(app.u_req, 0), pct(Precision::FP64),
+               pct(Precision::FP32), pct(Precision::FP16_32),
+               pct(Precision::FP16),
+               Table::num(100.0 * cmap.stc_fraction(pmap), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(Paper's Fig 7 shape: 2D-sqexp cheapest — most FP16/FP16_32"
+               " tiles; 3D-sqexp most expensive — FP64/FP32 dominate.)\n\n";
+
+  std::cout << "== Fig 2 / Fig 4: maps for 2D-sqexp ==\n\n";
+  const AppConfig app = paper_applications()[0];
+  const std::size_t small_nt = std::min(nt, display);
+  const PrecisionMap pmap = app_precision_map(app, small_nt, tile, samples);
+  const CommMap cmap = build_comm_map(pmap);
+  render_maps(pmap, cmap, small_nt);
+
+  std::cout << "\ncommunication precision of each sender (Fig 4b):\n";
+  for (std::size_t m = 0; m < small_nt; ++m) {
+    std::cout << "  ";
+    for (std::size_t k = 0; k <= m; ++k) {
+      std::cout << glyph(storage_for(cmap.comm(m, k)) == Storage::FP64
+                             ? Precision::FP64
+                         : wire_storage(cmap.comm(m, k)) == Storage::FP16
+                             ? Precision::FP16
+                             : Precision::FP32)
+                << ' ';
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Reproduction of Fig 12: Summit-scale evaluation.
+//   (a) weak scalability — matrix grows with the GPU count (constant
+//       per-GPU tile volume);
+//   (b) strong scalability — fixed matrix (paper: 798,720) across 1..64
+//       nodes (6..384 V100s);
+//   (c) mixed-precision effect on 64 nodes — FP64 vs FP32 vs the three
+//       applications' adaptive maps with automated conversion.
+//
+// Default tile is 4096 (NT = 195 for the strong-scaling matrix) to keep the
+// discrete-event graphs tractable; pass --tile 2048 for the paper's exact
+// tiling if you have memory and patience.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+
+using namespace mpgeo;
+using namespace mpgeo::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t tile = std::size_t(cli.get_int("tile", 4096));
+  const std::size_t strong_matrix =
+      std::size_t(cli.get_int("strong-matrix", 798720));
+  const std::size_t samples = std::size_t(cli.get_int("samples", 96));
+  cli.check_unused();
+
+  // ---- (a) weak scalability ---------------------------------------------
+  std::cout << "== Fig 12a: weak scalability on Summit ==\n\n";
+  {
+    Table t({"nodes", "GPUs", "matrix", "Tflop/s", "Tflop/s per GPU",
+             "parallel efficiency"});
+    double per_gpu_1 = 0;
+    for (int nodes : {1, 4, 16, 64}) {
+      const ClusterConfig cluster = summit_cluster(nodes);
+      const int g = cluster.total_gpus();
+      // Constant memory per GPU: matrix area scales with GPU count.
+      const std::size_t nt =
+          std::size_t(std::llround(24.0 * std::sqrt(double(g) / 6.0)));
+      const PrecisionMap pmap = uniform_precision_map(nt, Precision::FP64);
+      const SimReport r =
+          simulate_cholesky(pmap, ConversionStrategy::Auto, cluster, tile);
+      const double per_gpu = r.tflops() / g;
+      if (nodes == 1) per_gpu_1 = per_gpu;
+      t.add_row({std::to_string(nodes), std::to_string(g),
+                 std::to_string(nt * tile), Table::num(r.tflops(), 0),
+                 Table::num(per_gpu, 2), Table::num(per_gpu / per_gpu_1, 2)});
+    }
+    t.print(std::cout);
+  }
+
+  // ---- (b) strong scalability -------------------------------------------
+  std::cout << "\n== Fig 12b: strong scalability, matrix " << strong_matrix
+            << " ==\n\n";
+  {
+    const std::size_t nt = strong_matrix / tile;
+    Table t({"nodes", "GPUs", "time s", "Tflop/s", "speedup vs 4 nodes",
+             "scaling efficiency"});
+    double t4 = 0;
+    for (int nodes : {4, 16, 64}) {
+      const ClusterConfig cluster = summit_cluster(nodes);
+      const PrecisionMap pmap = uniform_precision_map(nt, Precision::FP64);
+      Stopwatch wall;
+      const SimReport r =
+          simulate_cholesky(pmap, ConversionStrategy::Auto, cluster, tile);
+      if (nodes == 4) t4 = r.makespan_seconds;
+      const double speedup = t4 / r.makespan_seconds;
+      t.add_row({std::to_string(nodes), std::to_string(cluster.total_gpus()),
+                 Table::num(r.makespan_seconds, 1), Table::num(r.tflops(), 0),
+                 Table::num(speedup, 2),
+                 Table::num(speedup / (double(nodes) / 4.0), 2)});
+      std::cerr << "  [strong " << nodes << " nodes simulated in "
+                << Table::num(wall.seconds(), 1) << " s]\n";
+    }
+    t.print(std::cout);
+  }
+
+  // ---- (c) mixed-precision effect on 64 nodes (384 GPUs) -----------------
+  std::cout << "\n== Fig 12c: MP effect on 64 nodes (384 GPUs) ==\n\n";
+  {
+    const ClusterConfig cluster = summit_cluster(64);
+    const std::size_t nt = strong_matrix / tile;
+    Table t({"config", "Tflop/s", "% of FP64 peak", "speedup vs FP64"});
+    const double peak =
+        cluster.total_gpus() * cluster.gpu.peak_tflops(Precision::FP64);
+    const PrecisionMap fp64_map = uniform_precision_map(nt, Precision::FP64);
+    const double fp64 =
+        simulate_cholesky(fp64_map, ConversionStrategy::Auto, cluster, tile)
+            .tflops();
+    t.add_row({"FP64", Table::num(fp64, 0), Table::num(100.0 * fp64 / peak, 1),
+               "1.00"});
+    const PrecisionMap fp32_map = uniform_precision_map(nt, Precision::FP32);
+    const double fp32 =
+        simulate_cholesky(fp32_map, ConversionStrategy::Auto, cluster, tile)
+            .tflops();
+    t.add_row({"FP32", Table::num(fp32, 0), Table::num(100.0 * fp32 / peak, 1),
+               Table::num(fp32 / fp64, 2)});
+    for (const AppConfig& app : paper_applications()) {
+      const PrecisionMap pmap = app_precision_map(app, nt, tile, samples);
+      const double mp =
+          simulate_cholesky(pmap, ConversionStrategy::Auto, cluster, tile)
+              .tflops();
+      t.add_row({"MP " + app.name, Table::num(mp, 0),
+                 Table::num(100.0 * mp / peak, 1), Table::num(mp / fp64, 2)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\n(Paper shapes: near-linear weak scaling; strong scaling "
+               "slightly sublinear at 384 GPUs; FP64 baseline ~68% of peak; "
+               "MP up to ~3.2x over FP64, ordered 2D-sqexp > 2D-Matern > "
+               "3D-sqexp.)\n";
+  return 0;
+}

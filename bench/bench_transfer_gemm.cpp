@@ -1,0 +1,65 @@
+// Reproduction of Table II: time (ms) to move one n x n tile to a V100 over
+// NVLink at each storage width, and to execute an n x n GEMM at each
+// precision — the measurement that motivates the whole conversion strategy:
+// an FP64 transfer costs more than the FP16 GEMM it feeds.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/gpu_specs.hpp"
+
+using namespace mpgeo;
+
+int main() {
+  const CostModel cm(v100_spec());
+  const std::size_t sizes[] = {2048, 4096, 6144, 8192, 10240};
+  // Paper's measured values for reference (milliseconds).
+  const double paper_move64[] = {0.67, 2.68, 6.04, 10.74, 16.78};
+  const double paper_move32[] = {0.34, 1.34, 3.02, 5.37, 8.39};
+  const double paper_move16[] = {0.17, 0.67, 1.51, 2.68, 4.19};
+  const double paper_gemm64[] = {2.2, 17.62, 59.47, 140.96, 275.32};
+  const double paper_gemm32[] = {1.09, 8.75, 29.54, 70.03, 136.78};
+  const double paper_gemm16[] = {0.14, 1.1, 3.71, 8.8, 17.18};
+
+  std::cout << "== Table II: time on one V100 (milliseconds) — "
+               "model vs paper ==\n\n";
+  Table t({"row", "2048", "4096", "6144", "8192", "10240"});
+  auto add = [&](const std::string& label, auto fn, const double* paper) {
+    std::vector<std::string> model_row = {label + " [model]"};
+    std::vector<std::string> paper_row = {label + " [paper]"};
+    for (int i = 0; i < 5; ++i) {
+      model_row.push_back(Table::num(fn(sizes[i]) * 1e3, 2));
+      paper_row.push_back(Table::num(paper[i], 2));
+    }
+    t.add_row(model_row);
+    t.add_row(paper_row);
+  };
+  add("Move tile FP64",
+      [&](std::size_t n) { return cm.host_transfer_seconds(n * n * 8); },
+      paper_move64);
+  add("Move tile FP32",
+      [&](std::size_t n) { return cm.host_transfer_seconds(n * n * 4); },
+      paper_move32);
+  add("Move tile FP16",
+      [&](std::size_t n) { return cm.host_transfer_seconds(n * n * 2); },
+      paper_move16);
+  add("GEMM FP64",
+      [&](std::size_t n) { return cm.gemm_seconds(Precision::FP64, n, n, n); },
+      paper_gemm64);
+  add("GEMM FP32",
+      [&](std::size_t n) { return cm.gemm_seconds(Precision::FP32, n, n, n); },
+      paper_gemm32);
+  add("GEMM FP16",
+      [&](std::size_t n) { return cm.gemm_seconds(Precision::FP16, n, n, n); },
+      paper_gemm16);
+  t.print(std::cout);
+
+  std::cout << "\nHeadline check: moving a tile in FP64 vs executing its "
+               "FP16 GEMM (n = 2048):\n  move FP64 = "
+            << Table::num(cm.host_transfer_seconds(2048ull * 2048 * 8) * 1e3, 2)
+            << " ms  >  GEMM FP16 = "
+            << Table::num(
+                   cm.gemm_seconds(Precision::FP16, 2048, 2048, 2048) * 1e3, 2)
+            << " ms  -> data motion dominates low-precision compute.\n";
+  return 0;
+}

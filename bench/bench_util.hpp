@@ -1,0 +1,96 @@
+// Shared helpers for the benchmark/reproduction harness: the paper's three
+// applications, large-scale precision maps via sampled norms, and common
+// simulation plumbing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/comm_map.hpp"
+#include "core/precision_map.hpp"
+#include "core/sampled_norms.hpp"
+#include "core/sim_graph.hpp"
+#include "gpusim/sim_executor.hpp"
+#include "stats/covariance.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo::bench {
+
+/// The three geospatial applications of the evaluation section with their
+/// paper-calibrated required accuracies (Fig 7 caption).
+struct AppConfig {
+  std::string name;
+  CovKind kind;
+  int dim;
+  std::vector<double> theta;
+  double u_req;
+  /// The paper's experimentally determined FP16_32 machine epsilon for this
+  /// application (Section VII-A). At loose accuracy (2D-sqexp, 1e-4) the
+  /// theoretical block-FMA bound is already permissive; at the tight
+  /// Matérn/3D accuracies the measured value — orders below worst case —
+  /// is what lets FP16_32 tiles appear in Fig 7 at all.
+  double fp16_32_eps;
+};
+
+inline std::vector<AppConfig> paper_applications() {
+  return {
+      // Correlation strengths chosen inside the paper's experimental range
+      // (beta in [0.03, 0.3]) so the three maps land in Fig 7's ordering:
+      // 2D-sqexp cheapest, 2D-Matérn in between, 3D-sqexp most expensive.
+      {"2D-sqexp", CovKind::SqExp, 2, {1.0, 0.1}, 1e-4, 1.22e-4},
+      {"2D-Matern", CovKind::Matern, 2, {1.0, 0.05, 0.5}, 1e-9, 1e-6},
+      {"3D-sqexp", CovKind::SqExp, 3, {1.0, 0.2}, 1e-8, 1e-6},
+  };
+}
+
+/// Build the application's precision map at simulated scale (nt tiles of
+/// dimension `tile`) from sampled covariance norms.
+inline PrecisionMap app_precision_map(const AppConfig& app, std::size_t nt,
+                                      std::size_t tile,
+                                      std::size_t samples = 256,
+                                      std::uint64_t seed = 42) {
+  Rng rng(seed);
+  LocationSet locs = generate_locations(nt * tile, app.dim, rng);
+  const Covariance cov(app.kind);
+  const auto ladder = default_precision_ladder();
+  return sampled_precision_map(cov, locs, app.theta, nt, tile, app.u_req,
+                               ladder, samples, rng, app.fp16_32_eps);
+}
+
+/// Uniform map: FP64 diagonal, `off` everywhere else (Fig 8's extremes).
+inline PrecisionMap uniform_precision_map(std::size_t nt, Precision off) {
+  PrecisionMap map(nt, Precision::FP64);
+  for (std::size_t m = 0; m < nt; ++m)
+    for (std::size_t k = 0; k < m; ++k) map.set_kernel(m, k, off);
+  return map;
+}
+
+/// Simulate one Cholesky on `cluster` and return the report.
+inline SimReport simulate_cholesky(const PrecisionMap& pmap,
+                                   ConversionStrategy strategy,
+                                   const ClusterConfig& cluster,
+                                   std::size_t tile,
+                                   double occupancy_dt = 0.0,
+                                   bool device_side_generation = true) {
+  CommMapOptions copts;
+  copts.strategy = strategy;
+  const CommMap cmap = build_comm_map(pmap, copts);
+  SimGraphOptions gopts;
+  gopts.tile = tile;
+  gopts.device_side_generation = device_side_generation;
+  const TaskGraph graph = build_cholesky_sim_graph(pmap, cmap, cluster, gopts);
+  SimOptions sopts;
+  sopts.tile = tile;
+  sopts.occupancy_sample_seconds = occupancy_dt;
+  return simulate(graph, cluster, sopts);
+}
+
+inline std::string gib(std::size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", double(bytes) / double(1ull << 30));
+  return buf;
+}
+
+}  // namespace mpgeo::bench

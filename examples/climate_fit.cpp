@@ -1,0 +1,90 @@
+// Climate-style workflow: fit a Matérn model to a synthetic 2D temperature
+// anomaly field (the application class motivating the paper), compare the
+// exact and mixed-precision likelihood paths, and quantify what the adaptive
+// precision buys in storage.
+//
+//   ./climate_fit [--n 360] [--replicas 3]
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/mle.hpp"
+#include "core/mp_cholesky.hpp"
+#include "core/tiled_covariance.hpp"
+#include "stats/covariance.hpp"
+#include "stats/field.hpp"
+#include "stats/locations.hpp"
+
+using namespace mpgeo;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t n = std::size_t(cli.get_int("n", 360));
+  const int replicas = int(cli.get_int("replicas", 3));
+  cli.check_unused();
+
+  // A smooth, strongly correlated field — the "hard" corner of Fig 5 where
+  // only tight accuracy recovers the smoothness parameter.
+  const Covariance cov(CovKind::Matern);
+  const std::vector<double> truth = {1.0, 0.1, 1.0};  // sigma2, beta, nu
+  const std::size_t tile = std::max<std::size_t>(40, n / 8);
+
+  std::cout << "== Matérn climate-field fit: n=" << n << ", truth sigma2=1, "
+               "beta=0.1, nu=1 ==\n\n";
+  Table t({"replica", "path", "sigma2", "beta", "nu", "loglik", "seconds"});
+  for (int rep = 0; rep < replicas; ++rep) {
+    Rng rng(500 + rep);
+    const LocationSet locs = generate_locations(n, 2, rng);
+    const std::vector<double> z = sample_field(cov, locs, truth, rng);
+    for (const bool exact : {true, false}) {
+      MleOptions opts;
+      opts.exact = exact;
+      opts.u_req = 1e-9;  // the paper's requirement for 2D-Matérn
+      opts.tile = tile;
+      opts.optim.max_evaluations = 400;
+      opts.optim.tolerance = 1e-6;
+      Stopwatch clock;
+      const MleResult fit = fit_mle(cov, locs, z, opts);
+      t.add_row({std::to_string(rep), exact ? "exact FP64" : "MP (1e-9)",
+                 Table::num(fit.theta[0], 3), Table::num(fit.theta[1], 3),
+                 Table::num(fit.theta[2], 3), Table::num(fit.loglik, 1),
+                 Table::num(clock.seconds(), 1)});
+    }
+  }
+  t.print(std::cout);
+
+  // What does the adaptive precision do to the covariance matrix itself?
+  std::cout << "\n== storage footprint of Sigma(theta_true) at different "
+               "required accuracies ==\n\n";
+  Rng rng(42);
+  const LocationSet locs = generate_locations(n, 2, rng);
+  Table s({"u_req", "FP64 tiles %", "sub-FP64 tiles %", "matrix MiB",
+           "all-FP64 tiles MiB"});
+  double fp64_tile_mib = 0.0;
+  {
+    // Baseline: the same tile layout held entirely in FP64.
+    TileMatrix fp64_tiles = build_tiled_covariance(cov, locs, truth, tile);
+    fp64_tile_mib = double(fp64_tiles.bytes()) / double(1 << 20);
+  }
+  for (const double u : {1e-13, 1e-9, 1e-4, 1e-1}) {
+    TileMatrix tiles = build_tiled_covariance(cov, locs, truth, tile);
+    MpCholeskyOptions copts;
+    copts.u_req = u;
+    const MpCholeskyResult r = mp_cholesky(tiles, copts);
+    const auto f = r.pmap.tile_fractions();
+    const auto it = f.find(Precision::FP64);
+    const double fp64_frac = it == f.end() ? 0.0 : it->second;
+    s.add_row({Table::sci(u, 0), Table::num(100 * fp64_frac, 1),
+               Table::num(100 * (1 - fp64_frac), 1),
+               Table::num(double(r.stored_bytes) / double(1 << 20), 2),
+               Table::num(fp64_tile_mib, 2)});
+  }
+  s.print(std::cout);
+  std::cout << "\n(The tiled layout stores only the lower triangle; sub-FP64 "
+               "tiles live in FP32, halving their footprint — the storage "
+               "saving the paper's conclusion highlights.)\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: the library in ~60 lines.
+//
+// 1. Generate synthetic spatial data from a known Gaussian process.
+// 2. Fit the model by maximum likelihood through the adaptive
+//    mixed-precision tile Cholesky.
+// 3. Compare the recovered parameters and the factorization's precision mix.
+//
+//   ./quickstart [--n 400] [--u-req 1e-9] [--beta 0.1]
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/mle.hpp"
+#include "stats/covariance.hpp"
+#include "stats/field.hpp"
+#include "stats/locations.hpp"
+
+using namespace mpgeo;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t n = std::size_t(cli.get_int("n", 400));
+  const double u_req = cli.get_double("u-req", 1e-9);
+  const double beta = cli.get_double("beta", 0.05);
+  cli.check_unused();
+
+  // 1. A Gaussian random field with squared-exponential covariance.
+  Rng rng(2026);
+  const LocationSet locs = generate_locations(n, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> truth = {1.0, beta};
+  const std::vector<double> z = sample_field(cov, locs, truth, rng);
+  std::cout << "generated " << n << " observations from sigma2=" << truth[0]
+            << ", beta=" << truth[1] << "\n";
+
+  // 2. Maximum likelihood with the mixed-precision Cholesky.
+  MleOptions opts;
+  opts.u_req = u_req;
+  opts.tile = std::max<std::size_t>(32, n / 8);
+  Stopwatch clock;
+  const MleResult fit = fit_mle(cov, locs, z, opts);
+  std::cout << "MLE finished in " << Table::num(clock.seconds(), 1) << " s, "
+            << fit.evaluations << " likelihood evaluations\n\n";
+
+  // 3. Report.
+  Table t({"parameter", "true", "estimated"});
+  const auto names = cov.param_names();
+  for (std::size_t p = 0; p < names.size(); ++p) {
+    t.add_row({names[p], Table::num(truth[p], 3), Table::num(fit.theta[p], 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nlog-likelihood at the optimum: " << Table::num(fit.loglik, 2)
+            << "\nrequired accuracy u_req = " << u_req
+            << " (drives how many tiles drop below FP64 — see the "
+               "precision_explorer example)\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+
+Cli::Cli(int argc, char** argv) {
+  MPGEO_REQUIRE(argc >= 1, "Cli: argc must be >= 1");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    MPGEO_REQUIRE(arg.rfind("--", 0) == 0, "Cli: expected --flag, got " + arg);
+    arg = arg.substr(2);
+    std::string name, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare flag
+      }
+    }
+    MPGEO_REQUIRE(!name.empty(), "Cli: empty flag name");
+    values_[name] = value;
+    used_[name] = false;
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) used_[name] = true;
+  return it != values_.end();
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  return it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  MPGEO_REQUIRE(end && *end == '\0', "Cli: flag --" + name + " is not an integer");
+  return v;
+}
+
+double Cli::get_double(const std::string& name, double dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  MPGEO_REQUIRE(end && *end == '\0', "Cli: flag --" + name + " is not a number");
+  return v;
+}
+
+bool Cli::get_bool(const std::string& name, bool dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw Error("Cli: flag --" + name + " is not a boolean");
+}
+
+void Cli::check_unused() const {
+  for (const auto& [name, used] : used_) {
+    MPGEO_REQUIRE(used, "Cli: unknown flag --" + name);
+  }
+}
+
+}  // namespace mpgeo

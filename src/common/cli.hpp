@@ -1,0 +1,34 @@
+// Minimal command-line flag parser for examples and benchmark drivers.
+// Flags are "--name value" or "--name=value"; unknown flags are an error so
+// typos don't silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mpgeo {
+
+class Cli {
+ public:
+  /// Parse argv. Throws mpgeo::Error on malformed input.
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name, const std::string& dflt) const;
+  std::int64_t get_int(const std::string& name, std::int64_t dflt) const;
+  double get_double(const std::string& name, double dflt) const;
+  bool get_bool(const std::string& name, bool dflt) const;
+
+  /// Error out if any provided flag was never queried (catches typos).
+  void check_unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  std::string program_;
+};
+
+}  // namespace mpgeo

@@ -1,0 +1,17 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mpgeo {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+
+void assert_fail(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "mpgeo assertion failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace mpgeo

@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MPGEO_REQUIRE(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MPGEO_REQUIRE(cells.size() == headers_.size(),
+                "Table: row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int prec) {
+  char buf[64];
+  if (v != 0.0 && (std::fabs(v) >= 1e6 || std::fabs(v) < 1e-4)) {
+    std::snprintf(buf, sizeof buf, "%.*e", prec, v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  }
+  return buf;
+}
+
+std::string Table::sci(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", prec, v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "");
+      os << row[c];
+      for (std::size_t p = row[c].size(); p < width[c]; ++p) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::string sep;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) sep += "  ";
+    sep.append(width[c], '-');
+  }
+  os << sep << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace mpgeo

@@ -1,0 +1,35 @@
+// Fixed-width ASCII table printer used by benchmark harnesses to emit the
+// same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mpgeo {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with `prec` significant decimal digits.
+  static std::string num(double v, int prec = 4);
+
+  /// Always-scientific formatting (for errors and other tiny quantities
+  /// that would collapse to "0.00" under fixed-point).
+  static std::string sci(double v, int prec = 2);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpgeo

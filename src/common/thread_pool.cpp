@@ -1,0 +1,89 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 4;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lk(mu_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  MPGEO_ASSERT(job != nullptr);
+  {
+    std::unique_lock lk(mu_);
+    MPGEO_REQUIRE(!stopping_, "ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(job));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lk(mu_);
+      cv_work_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::unique_lock lk(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Block-cyclic chunks sized so each worker gets a few chunks (load balance
+  // without per-index queue overhead).
+  const std::size_t chunks = std::min<std::size_t>(n, workers_.size() * 4);
+  const std::size_t per = (n + chunks - 1) / chunks;
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * per;
+    const std::size_t hi = std::min(n, lo + per);
+    submit([&, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+      if (done.fetch_add(1) + 1 == chunks) {
+        std::unique_lock lk(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock lk(done_mu);
+  done_cv.wait(lk, [&] { return done.load() == chunks; });
+}
+
+}  // namespace mpgeo

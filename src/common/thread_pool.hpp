@@ -1,0 +1,54 @@
+// Fixed-size worker pool with a shared FIFO queue.
+//
+// Used by the task runtime (src/runtime) as its execution backend and by
+// Monte-Carlo drivers to parallelize independent replicas. Deliberately
+// simple: one mutex-protected queue is plenty for tile-granularity tasks
+// (each task is a BLAS-3 kernel on a 64x64..2048x2048 tile, microseconds to
+// seconds of work, so queue contention is negligible).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpgeo {
+
+class ThreadPool {
+ public:
+  /// Start `num_threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Safe to call from worker threads (jobs may spawn jobs).
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job (including jobs spawned by jobs) has run.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace mpgeo

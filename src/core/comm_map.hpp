@@ -1,0 +1,93 @@
+// The automated precision conversion strategy (paper Section VI,
+// Algorithm 2): decide, per communication-issuing tile, whether the sender
+// converts the payload down before shipping it (STC) or ships it at storage
+// precision and lets each receiver convert (TTC).
+//
+// For every tile the map records the *communication precision*:
+//   * diagonal tile (k, k) — POTRF(k, k) broadcasts the factor to the TRSMs
+//     of column k; comm starts at FP32 and is raised to FP64 iff some TRSM
+//     below runs in FP64 (Algorithm 2 lines 6-11);
+//   * off-diagonal tile (m, k) — TRSM(m, k) broadcasts the panel to the
+//     GEMMs of row m, the GEMMs of column m and SYRK(m, k); comm starts at
+//     FP16 and is raised to the highest precision among the consuming
+//     GEMM kernels, capped at the tile's storage precision (lines 12-28).
+//
+// Interpretation note. The published pseudocode's row scan runs "n = k+1 to
+// m", whose n = m endpoint is the FP64 diagonal (SYRK) — taken literally it
+// would raise every panel to its storage cap and no TRSM could ever apply
+// STC, contradicting the paper's own Fig 4a (STC on TRSM tiles) and its
+// Fig 8 configurations where "all communications can employ the STC
+// strategy". The paper's intent — visible in both — is that the FP64
+// diagonal consumers (SYRK/POTRF) up-cast whatever arrives and do not veto
+// the down-conversion, since the payload's information is bounded by the
+// sender's storage anyway. We implement that intent by default and keep the
+// literal variant available behind `diagonal_consumers_veto` for study (the
+// ablation bench measures the difference).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/precision_map.hpp"
+#include "precision/precision.hpp"
+
+namespace mpgeo {
+
+/// Global conversion strategy selector for experiments (Fig 8's two bounds
+/// bracket the adaptive strategy).
+enum class ConversionStrategy {
+  Auto,    ///< Algorithm 2: STC where profitable, TTC elsewhere
+  AllTTC,  ///< force receiver-side conversion everywhere (lower bound)
+};
+
+std::string to_string(ConversionStrategy s);
+
+class CommMap {
+ public:
+  CommMap() = default;
+  CommMap(std::size_t nt, Precision fill);
+
+  std::size_t nt() const { return nt_; }
+
+  /// Communication precision of data sent by the task operating on (m, k).
+  Precision comm(std::size_t m, std::size_t k) const;
+  void set_comm(std::size_t m, std::size_t k, Precision p);
+
+  /// True when the tile's sender converts before shipping (STC): the wire
+  /// format is strictly narrower than the tile's storage format.
+  bool uses_stc(std::size_t m, std::size_t k, const PrecisionMap& pmap) const;
+
+  /// Bytes per element on the wire for this tile's broadcasts.
+  std::size_t wire_bytes_per_element(std::size_t m, std::size_t k) const;
+
+  /// Fraction of lower-triangle tiles whose sender applies STC.
+  double stc_fraction(const PrecisionMap& pmap) const;
+
+ private:
+  std::size_t idx(std::size_t m, std::size_t k) const;
+  std::size_t nt_ = 0;
+  std::vector<Precision> comm_;
+};
+
+struct CommMapOptions {
+  ConversionStrategy strategy = ConversionStrategy::Auto;
+  /// Literal-pseudocode mode: FP64 diagonal consumers (SYRK) veto STC on
+  /// panel tiles. Default off — see the interpretation note above.
+  bool diagonal_consumers_veto = false;
+};
+
+/// Algorithm 2: derive the communication-precision map from the kernel map.
+/// O(NT^3) like the paper's; runs once per factorization.
+CommMap build_comm_map(const PrecisionMap& pmap,
+                       const CommMapOptions& options = {});
+
+/// Closed-form estimate of the total broadcast payload of one factorization
+/// with tiles of dimension `tile`: each POTRF(k,k) feeds the NT-1-k TRSMs
+/// of its column, each TRSM(m,k) feeds its NT-k-1 trailing consumers (row
+/// GEMMs, column GEMMs, SYRK), every payload at the comm map's wire width.
+/// One logical send per consumer — an upper bound on wire traffic that lets
+/// callers compare strategies without running the simulator.
+std::size_t broadcast_payload_bytes(const PrecisionMap& pmap,
+                                    const CommMap& cmap, std::size_t tile);
+
+}  // namespace mpgeo

@@ -1,0 +1,76 @@
+#include "core/monte_carlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "stats/field.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+
+ParameterSummary summarize(std::vector<double> values) {
+  MPGEO_REQUIRE(!values.empty(), "summarize: empty sample");
+  std::sort(values.begin(), values.end());
+  auto at = [&](double q) {
+    const double pos = q * double(values.size() - 1);
+    const std::size_t lo = std::size_t(pos);
+    const std::size_t hi = std::min(values.size() - 1, lo + 1);
+    return values[lo] + (pos - double(lo)) * (values[hi] - values[lo]);
+  };
+  ParameterSummary s;
+  s.q25 = at(0.25);
+  s.median = at(0.5);
+  s.q75 = at(0.75);
+  double acc = 0;
+  for (double v : values) acc += v;
+  s.mean = acc / double(values.size());
+  return s;
+}
+
+MonteCarloResult run_monte_carlo(const Covariance& cov,
+                                 const std::vector<double>& truth,
+                                 const MonteCarloConfig& config) {
+  cov.check_params(truth);
+  MPGEO_REQUIRE(config.replicas >= 1, "monte carlo: need >= 1 replica");
+  MPGEO_REQUIRE(config.n >= 4, "monte carlo: need >= 4 locations");
+
+  const std::size_t num_params = cov.num_params();
+  MonteCarloResult result;
+  result.estimates.assign(num_params, {});
+
+  MleOptions mle = config.mle;
+  mle.num_threads = 1;  // parallelism lives at the replica level
+
+  std::mutex mu;
+  ThreadPool pool;
+  pool.parallel_for(std::size_t(config.replicas), [&](std::size_t rep) {
+    Rng rng(config.seed + 17 * rep);
+    const LocationSet locs = generate_locations(config.n, config.dim, rng);
+    Rng field_rng = rng.spawn(rep);
+    const std::vector<double> z = sample_field(cov, locs, truth, field_rng);
+    const MleResult fit = fit_mle(cov, locs, z, mle);
+    std::lock_guard lk(mu);
+    if (!std::isfinite(fit.loglik) || fit.loglik <= -1e99) {
+      result.failed_replicas++;
+      return;
+    }
+    for (std::size_t p = 0; p < num_params; ++p) {
+      result.estimates[p].push_back(fit.theta[p]);
+    }
+  });
+
+  for (std::size_t p = 0; p < num_params; ++p) {
+    if (!result.estimates[p].empty()) {
+      result.summary.push_back(summarize(result.estimates[p]));
+    } else {
+      result.summary.push_back({});
+    }
+  }
+  return result;
+}
+
+}  // namespace mpgeo

@@ -1,0 +1,44 @@
+// Monte-Carlo evaluation of the MLE (the paper's Section VII-B protocol as
+// a reusable library facility): R replicated synthetic datasets from a known
+// theta, each fit through the mixed-precision (or exact) likelihood, with
+// replica-parallel execution and quartile summaries — what Figs 5/6 plot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mle.hpp"
+#include "stats/covariance.hpp"
+
+namespace mpgeo {
+
+struct MonteCarloConfig {
+  std::size_t n = 196;       ///< locations per replica
+  int dim = 2;
+  int replicas = 10;
+  std::uint64_t seed = 1000; ///< replica r uses seed + 17 r (deterministic)
+  MleOptions mle;
+};
+
+struct ParameterSummary {
+  double q25 = 0, median = 0, q75 = 0, mean = 0;
+};
+
+struct MonteCarloResult {
+  /// estimates[p][r]: estimate of parameter p in replica r.
+  std::vector<std::vector<double>> estimates;
+  std::vector<ParameterSummary> summary;  ///< one per parameter
+  int failed_replicas = 0;  ///< fits whose likelihood never became finite
+};
+
+/// Run the protocol: generate -> fit -> summarize. Replicas run in parallel
+/// on a worker pool (the per-fit Cholesky is forced single-threaded so the
+/// replicas, not the tiles, fill the machine).
+MonteCarloResult run_monte_carlo(const Covariance& cov,
+                                 const std::vector<double>& truth,
+                                 const MonteCarloConfig& config);
+
+/// Quartiles/mean of a sample (helper shared with the benches).
+ParameterSummary summarize(std::vector<double> values);
+
+}  // namespace mpgeo

@@ -1,0 +1,202 @@
+#include "core/mp_cholesky.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/reference.hpp"
+#include "linalg/tile_kernels.hpp"
+#include "precision/convert.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace mpgeo {
+namespace {
+
+/// Exception carrying a POTRF breakdown out of the task graph.
+struct NotPositiveDefinite {
+  int info;
+};
+
+MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
+                              PrecisionMap pmap) {
+  const std::size_t nt = a.num_tiles();
+  CommMap cmap = build_comm_map(pmap, options.comm);
+
+  // Fig 2b: move each tile into its storage format (FP64 generation already
+  // happened; sub-FP32 kernels get FP32-stored tiles).
+  for (std::size_t m = 0; m < nt; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      AnyTile& t = a.tile(m, k);
+      if (t.storage() != pmap.storage(m, k)) {
+        t.convert_storage(pmap.storage(m, k));
+      }
+    }
+  }
+
+  // Register one logical datum per tile.
+  TaskGraph graph;
+  std::vector<DataId> data(nt * (nt + 1) / 2);
+  auto did = [&](std::size_t m, std::size_t k) {
+    return data[m * (m + 1) / 2 + k];
+  };
+  for (std::size_t m = 0; m < nt; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      DataInfo info;
+      info.name = "C(" + std::to_string(m) + "," + std::to_string(k) + ")";
+      info.bytes = a.tile(m, k).bytes();
+      data[m * (m + 1) / 2 + k] = graph.add_data(info);
+    }
+  }
+
+  // Algorithm 1, right-looking tile Cholesky.
+  for (std::size_t k = 0; k < nt; ++k) {
+    {
+      TaskInfo ti;
+      ti.name = "POTRF(" + std::to_string(k) + ")";
+      ti.kind = KernelKind::POTRF;
+      ti.prec = Precision::FP64;
+      ti.tm = ti.tn = int(k);
+      AnyTile* ckk = &a.tile(k, k);
+      graph.add_task(ti, {{did(k, k), AccessMode::ReadWrite}}, [ckk] {
+        const int info = potrf_tile(*ckk);
+        if (info != 0) throw NotPositiveDefinite{info};
+      });
+    }
+    for (std::size_t m = k + 1; m < nt; ++m) {
+      TaskInfo ti;
+      ti.name = "TRSM(" + std::to_string(m) + "," + std::to_string(k) + ")";
+      ti.kind = KernelKind::TRSM;
+      ti.prec = pmap.trsm_precision(m, k);
+      ti.tm = int(m);
+      ti.tk = int(k);
+      const AnyTile* ckk = &a.tile(k, k);
+      AnyTile* cmk = &a.tile(m, k);
+      const Precision trsm_prec = ti.prec;
+      const bool stc = options.apply_wire_rounding && cmap.uses_stc(m, k, pmap);
+      const Storage wire = wire_storage(cmap.comm(m, k));
+      graph.add_task(
+          ti,
+          {{did(k, k), AccessMode::Read}, {did(m, k), AccessMode::ReadWrite}},
+          [ckk, cmk, trsm_prec, stc, wire] {
+            trsm_tile(trsm_prec, *ckk, *cmk);
+            if (stc) {
+              // STC: the broadcast payload is the wire-rounded panel; all
+              // consumers (including the FP64 SYRK) see these values.
+              std::vector<double> buf = cmk->to_double();
+              round_through(buf, wire);
+              cmk->from_double(buf);
+            }
+          });
+    }
+    for (std::size_t m = k + 1; m < nt; ++m) {
+      TaskInfo ti;
+      ti.name = "SYRK(" + std::to_string(m) + "," + std::to_string(k) + ")";
+      ti.kind = KernelKind::SYRK;
+      ti.prec = Precision::FP64;
+      ti.tm = int(m);
+      ti.tk = int(k);
+      const AnyTile* cmk = &a.tile(m, k);
+      AnyTile* cmm = &a.tile(m, m);
+      graph.add_task(
+          ti,
+          {{did(m, k), AccessMode::Read}, {did(m, m), AccessMode::ReadWrite}},
+          [cmk, cmm] { syrk_tile(*cmk, *cmm); });
+    }
+    for (std::size_t m = k + 2; m < nt; ++m) {
+      for (std::size_t n = k + 1; n < m; ++n) {
+        TaskInfo ti;
+        ti.name = "GEMM(" + std::to_string(m) + "," + std::to_string(n) + "," +
+                  std::to_string(k) + ")";
+        ti.kind = KernelKind::GEMM;
+        ti.prec = pmap.kernel(m, n);
+        ti.tm = int(m);
+        ti.tn = int(n);
+        ti.tk = int(k);
+        const AnyTile* cmk = &a.tile(m, k);
+        const AnyTile* cnk = &a.tile(n, k);
+        AnyTile* cmn = &a.tile(m, n);
+        const Precision prec = ti.prec;
+        graph.add_task(ti,
+                       {{did(m, k), AccessMode::Read},
+                        {did(n, k), AccessMode::Read},
+                        {did(m, n), AccessMode::ReadWrite}},
+                       [cmk, cnk, cmn, prec] { gemm_tile(prec, *cmk, *cnk, *cmn); });
+      }
+    }
+  }
+
+  MpCholeskyResult result;
+  result.pmap = std::move(pmap);
+  result.cmap = std::move(cmap);
+  result.stored_bytes = a.bytes();
+  ExecutorOptions exec_opts;
+  exec_opts.num_threads = options.num_threads;
+  try {
+    result.exec = execute(graph, exec_opts);
+  } catch (const NotPositiveDefinite& e) {
+    result.info = e.info;
+  }
+  return result;
+}
+
+}  // namespace
+
+MpCholeskyResult mp_cholesky(TileMatrix& a, const MpCholeskyOptions& options) {
+  MPGEO_REQUIRE(!options.ladder.empty(), "mp_cholesky: empty precision ladder");
+  PrecisionMap pmap = build_precision_map(a, options.u_req, options.ladder,
+                                          options.fp16_32_rule_eps);
+  return run_cholesky(a, options, std::move(pmap));
+}
+
+MpCholeskyResult fp64_cholesky(TileMatrix& a, std::size_t num_threads) {
+  MpCholeskyOptions options;
+  options.ladder = {Precision::FP64};
+  options.num_threads = num_threads;
+  PrecisionMap pmap(a.num_tiles(), Precision::FP64);
+  return run_cholesky(a, options, std::move(pmap));
+}
+
+double logdet_tiled(const TileMatrix& l) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < l.num_tiles(); ++k) {
+    const AnyTile& t = l.tile(k, k);
+    for (std::size_t i = 0; i < t.rows(); ++i) {
+      const double d = t.at(i, i);
+      MPGEO_REQUIRE(d > 0.0, "logdet_tiled: non-positive factor diagonal");
+      acc += std::log(d);
+    }
+  }
+  return 2.0 * acc;
+}
+
+void forward_solve_tiled(const TileMatrix& l, std::vector<double>& z) {
+  MPGEO_REQUIRE(z.size() == l.n(), "forward_solve_tiled: size mismatch");
+  const std::size_t nt = l.num_tiles();
+  const std::size_t nb = l.nb();
+  for (std::size_t m = 0; m < nt; ++m) {
+    const std::size_t rows = l.tile_rows(m);
+    double* zm = z.data() + m * nb;
+    // zm -= L(m,k) * zk for factored panels left of the diagonal.
+    for (std::size_t k = 0; k < m; ++k) {
+      const AnyTile& t = l.tile(m, k);
+      std::vector<double> buf = t.to_double();
+      gemv_notrans<double>(rows, t.cols(), -1.0, buf.data(), rows,
+                           z.data() + k * nb, 1.0, zm);
+    }
+    const AnyTile& diag = l.tile(m, m);
+    std::vector<double> lbuf = diag.to_double();
+    trsm_left_lower_notrans<double>(rows, 1, 1.0, lbuf.data(), rows, zm, rows);
+  }
+}
+
+double tiled_cholesky_residual(const Matrix<double>& original,
+                               const TileMatrix& factored) {
+  Matrix<double> dense = factored.to_dense();
+  // to_dense mirrors the lower triangle; rebuild a proper lower factor.
+  for (std::size_t j = 0; j < dense.cols(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) dense(i, j) = 0.0;
+  }
+  return cholesky_residual(original, dense);
+}
+
+}  // namespace mpgeo

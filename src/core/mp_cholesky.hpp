@@ -1,0 +1,77 @@
+// Adaptive mixed-precision tile Cholesky (paper Algorithm 1) executed as a
+// task graph on the runtime — the numeric path used by the MLE and by all
+// accuracy experiments.
+//
+// Pipeline:
+//   1. derive the kernel-precision map from the tile norms (Higham–Mary
+//      rule, Section V) and the communication map (Algorithm 2, Section VI);
+//   2. re-store tiles per the storage map (Fig 2b);
+//   3. insert POTRF/TRSM/SYRK/GEMM tasks with read/write accesses; the
+//      runtime's dependence analysis reproduces the dataflow of Fig 3;
+//   4. execute asynchronously on a worker pool.
+//
+// STC's numeric footprint: when Algorithm 2 selects sender-side conversion
+// for a panel tile, the broadcast payload is the tile rounded to the wire
+// format, so *every* consumer — including the FP64 SYRK — sees wire-rounded
+// values. We model that by rounding the tile through the wire format right
+// after its TRSM. (GEMM consumers round to their input format regardless,
+// so the only measurable difference is on the FP64 diagonal chain — this is
+// the accuracy cost of STC the paper argues is negligible, and our accuracy
+// suite verifies it.)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/comm_map.hpp"
+#include "core/precision_map.hpp"
+#include "core/tile_matrix.hpp"
+#include "runtime/executor.hpp"
+
+namespace mpgeo {
+
+struct MpCholeskyOptions {
+  /// Application-required accuracy u_req (paper: 1e-4 for 2D-sqexp, 1e-9
+  /// for 2D-Matérn, 1e-8 for 3D-sqexp).
+  double u_req = 1e-9;
+  /// Precision ladder, finest first. Defaults to {FP64, FP32, FP16_32, FP16}.
+  std::vector<Precision> ladder = default_precision_ladder();
+  /// Experimentally determined FP16_32 rule epsilon (0 = theoretical bound).
+  /// See build_precision_map.
+  double fp16_32_rule_eps = 0.0;
+  CommMapOptions comm;
+  std::size_t num_threads = 0;  ///< worker pool size; 0 = hardware
+  /// Round STC broadcasts through the wire format (see header comment).
+  bool apply_wire_rounding = true;
+};
+
+struct MpCholeskyResult {
+  PrecisionMap pmap;
+  CommMap cmap;
+  /// 0 on success; LAPACK-style positive value when a diagonal tile lost
+  /// positive definiteness (possible under very coarse u_req).
+  int info = 0;
+  ExecutionReport exec;
+  std::size_t stored_bytes = 0;  ///< matrix footprint after storage mapping
+};
+
+/// Factor `a` (generated in FP64) in place: on return the lower triangle
+/// holds the tile Cholesky factor in mixed-precision storage.
+MpCholeskyResult mp_cholesky(TileMatrix& a, const MpCholeskyOptions& options = {});
+
+/// Plain FP64 tile Cholesky through the same task machinery (the paper's
+/// baseline). Equivalent to mp_cholesky with a ladder of {FP64}.
+MpCholeskyResult fp64_cholesky(TileMatrix& a, std::size_t num_threads = 0);
+
+/// log|A| = 2 sum log diag(L) from a factored TileMatrix.
+double logdet_tiled(const TileMatrix& l);
+
+/// Solve L y = z in place (tiled forward substitution); z.size() == l.n().
+void forward_solve_tiled(const TileMatrix& l, std::vector<double>& z);
+
+/// ||A - L L^T||_F / ||A||_F against a dense FP64 copy of the original
+/// matrix (test/diagnostic helper; O(n^3), small problems only).
+double tiled_cholesky_residual(const Matrix<double>& original,
+                               const TileMatrix& factored);
+
+}  // namespace mpgeo

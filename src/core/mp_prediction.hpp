@@ -1,0 +1,71 @@
+// Prediction and mixed-precision linear solves on top of the tile Cholesky.
+//
+// * mp_krige — simple kriging whose Sigma_oo solve runs through the adaptive
+//   mixed-precision factorization (the production path: estimate theta with
+//   fit_mle, then predict with the same machinery).
+// * mp_solve_refined — mixed-precision iterative refinement: factor
+//   Sigma once at a loose accuracy (cheap, low precision), then recover
+//   FP64-quality solutions of Sigma x = b by refining with exact FP64
+//   residuals. This is the classic energy-efficient-solver pattern (Haidar
+//   et al., the paper's ref [33]) expressed with this library's tiles: the
+//   expensive O(n^3) work runs at tensor-core precisions, the O(n^2)
+//   residuals in FP64.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/mp_cholesky.hpp"
+#include "core/tile_matrix.hpp"
+#include "stats/covariance.hpp"
+#include "stats/kriging.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+
+/// y = A x for a symmetric TileMatrix holding its lower triangle (FP64
+/// accumulation; tiles widened on the fly).
+std::vector<double> symv_tiled(const TileMatrix& a, std::span<const double> x);
+
+/// Solve L L^T y = b in place given a factored TileMatrix (forward then
+/// transposed-backward substitution).
+void cholesky_solve_tiled(const TileMatrix& l, std::vector<double>& b);
+
+struct MpKrigeOptions {
+  double u_req = 1e-9;
+  std::size_t tile = 100;
+  double nugget = 1e-8;
+  std::size_t num_threads = 0;
+};
+
+/// Kriging through the mixed-precision Cholesky. Throws mpgeo::Error if the
+/// factorization loses positive definiteness at the requested accuracy.
+KrigingResult mp_krige(const Covariance& cov, const LocationSet& observed,
+                       std::span<const double> z, const LocationSet& targets,
+                       std::span<const double> theta,
+                       const MpKrigeOptions& options = {});
+
+struct RefinementOptions {
+  /// Accuracy of the (cheap) factorization used as the preconditioner.
+  double factor_u_req = 1e-4;
+  std::size_t tile = 100;
+  double tolerance = 1e-12;  ///< target relative residual ||b - Ax|| / ||b||
+  int max_iterations = 50;
+  std::size_t num_threads = 0;
+};
+
+struct RefinementResult {
+  std::vector<double> x;
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+  MpCholeskyResult factorization;  ///< maps/exec stats of the MP factor
+};
+
+/// Solve Sigma x = b where Sigma is the (FP64-generated) tile matrix `a`.
+/// `a` is consumed: on return it holds the loose mixed-precision factor.
+/// A pristine FP64 copy of Sigma is kept internally for exact residuals.
+RefinementResult mp_solve_refined(TileMatrix& a, std::span<const double> b,
+                                  const RefinementOptions& options = {});
+
+}  // namespace mpgeo

@@ -1,0 +1,83 @@
+// The tile-centric adaptive precision rule (paper Section V, Fig 2).
+//
+// A tile (i, j) may execute its kernels in a reduced precision with unit
+// roundoff u_low when (Higham & Mary 2022):
+//
+//     ||A_ij||_F * NT / ||A||_F  <=  u_req / u_low
+//
+// i.e. tiles whose relative mass is small tolerate coarser arithmetic while
+// keeping the global backward error at the application-required accuracy
+// u_req. Diagonal tiles are pinned to FP64 (POTRF/SYRK run there and carry
+// the strongest correlations). The derived maps:
+//   * kernel map    — execution precision per tile (Fig 2a / Fig 7);
+//   * storage map   — at-rest format per tile (Fig 2b): FP64 or FP32;
+//   * TRSM map      — FP64 tiles solve in FP64, everything else in FP32.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/tile_matrix.hpp"
+#include "precision/precision.hpp"
+
+namespace mpgeo {
+
+/// Default GPU-supported precision ladder (paper Section IV conclusion:
+/// BF16_32 excluded — same speed as FP16_32 on all three GPUs).
+std::vector<Precision> default_precision_ladder();
+
+class PrecisionMap {
+ public:
+  PrecisionMap() = default;
+  PrecisionMap(std::size_t nt, Precision fill);
+
+  std::size_t nt() const { return nt_; }
+
+  /// Kernel execution precision of lower-triangle tile (m, k), m >= k.
+  Precision kernel(std::size_t m, std::size_t k) const;
+  void set_kernel(std::size_t m, std::size_t k, Precision p);
+
+  /// Storage format of tile (m, k) per Fig 2b.
+  Storage storage(std::size_t m, std::size_t k) const;
+
+  /// Execution precision of the TRSM applied to tile (m, k): FP64 for FP64
+  /// tiles, FP32 otherwise (no 16-bit TRSM on Nvidia GPUs).
+  Precision trsm_precision(std::size_t m, std::size_t k) const;
+
+  /// Fraction of lower-triangle tiles at each precision (Fig 7's legend).
+  std::map<Precision, double> tile_fractions() const;
+
+ private:
+  std::size_t idx(std::size_t m, std::size_t k) const;
+  std::size_t nt_ = 0;
+  std::vector<Precision> kernel_;
+};
+
+/// Build the kernel-precision map for a tiled matrix already generated in
+/// its FP64 form (norms must reflect the true values): applies the
+/// Higham–Mary threshold with required accuracy `u_req` over the precision
+/// `ladder` (ordered highest to lowest accuracy; must start with FP64).
+///
+/// `fp16_32_eps`: the u_low the rule uses for the FP16_32 format. 0 (the
+/// default) means the conservative theoretical block-FMA bound
+/// unit_roundoff(FP16_32); the paper instead plugs in an *experimentally
+/// determined* machine epsilon for this format (Section VII-A) — its
+/// observed error is far below the worst case thanks to FP32 accumulation —
+/// which admits many more FP16_32 tiles at tight accuracies (Fig 7's
+/// Matérn/3D maps are unreachable without it). Pass the measured value to
+/// reproduce the paper's maps.
+PrecisionMap build_precision_map(const TileMatrix& a, double u_req,
+                                 std::span<const Precision> ladder,
+                                 double fp16_32_eps = 0.0);
+
+/// Same rule from externally supplied per-tile Frobenius norms
+/// (norms[m*(m+1)/2+k] for the packed lower triangle) and global norm.
+PrecisionMap build_precision_map_from_norms(std::size_t nt,
+                                            std::span<const double> tile_norms,
+                                            double global_norm, double u_req,
+                                            std::span<const Precision> ladder,
+                                            double fp16_32_eps = 0.0);
+
+}  // namespace mpgeo

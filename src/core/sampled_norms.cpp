@@ -1,0 +1,76 @@
+#include "core/sampled_norms.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+
+SampledNorms sample_tile_norms(const Covariance& cov, const LocationSet& locs,
+                               std::span<const double> theta, std::size_t nt,
+                               std::size_t nb, std::size_t samples, Rng& rng) {
+  MPGEO_REQUIRE(nt >= 1 && nb >= 1, "sample_tile_norms: empty geometry");
+  MPGEO_REQUIRE(locs.size() >= nt * nb,
+                "sample_tile_norms: not enough locations for the matrix");
+  MPGEO_REQUIRE(samples >= 1, "sample_tile_norms: need at least one sample");
+  cov.check_params(theta);
+
+  SampledNorms out;
+  out.nt = nt;
+  out.tile_norms.resize(nt * (nt + 1) / 2);
+  const double elems = double(nb) * double(nb);
+  double global_sq = 0.0;
+  for (std::size_t m = 0; m < nt; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      double mean_sq = 0.0;
+      if (m == k) {
+        // Diagonal tiles are dominated by the diagonal entries (sigma2);
+        // sample off-diagonal entries and add the diagonal exactly.
+        double off_sq = 0.0;
+        for (std::size_t s = 0; s < samples; ++s) {
+          const std::size_t i = m * nb + rng.uniform_index(nb);
+          std::size_t j = k * nb + rng.uniform_index(nb);
+          if (i == j) j = k * nb + ((j - k * nb + 1) % nb);
+          if (i == j) continue;  // nb == 1: no off-diagonal entries exist
+          const double v = cov.value(locs.distance(i, j), theta);
+          off_sq += v * v;
+        }
+        const double diag_sq = theta[0] * theta[0] * double(nb);
+        mean_sq = off_sq / double(samples);
+        const double tile_sq = mean_sq * (elems - double(nb)) + diag_sq;
+        out.tile_norms[m * (m + 1) / 2 + k] = std::sqrt(tile_sq);
+        global_sq += tile_sq;
+        continue;
+      }
+      for (std::size_t s = 0; s < samples; ++s) {
+        const std::size_t i = m * nb + rng.uniform_index(nb);
+        const std::size_t j = k * nb + rng.uniform_index(nb);
+        const double v = cov.value(locs.distance(i, j), theta);
+        mean_sq += v * v;
+      }
+      mean_sq /= double(samples);
+      const double tile_sq = mean_sq * elems;
+      out.tile_norms[m * (m + 1) / 2 + k] = std::sqrt(tile_sq);
+      global_sq += 2.0 * tile_sq;  // mirrored upper triangle
+    }
+  }
+  out.global_norm = std::sqrt(global_sq);
+  return out;
+}
+
+PrecisionMap sampled_precision_map(const Covariance& cov,
+                                   const LocationSet& locs,
+                                   std::span<const double> theta,
+                                   std::size_t nt, std::size_t nb,
+                                   double u_req,
+                                   std::span<const Precision> ladder,
+                                   std::size_t samples, Rng& rng,
+                                   double fp16_32_eps) {
+  const SampledNorms norms =
+      sample_tile_norms(cov, locs, theta, nt, nb, samples, rng);
+  return build_precision_map_from_norms(nt, norms.tile_norms,
+                                        norms.global_norm, u_req, ladder,
+                                        fp16_32_eps);
+}
+
+}  // namespace mpgeo

@@ -1,0 +1,44 @@
+// Sampled estimation of tile Frobenius norms at paper scale.
+//
+// The performance/energy experiments (Figs 8-12) run matrices up to
+// 798,720^2 — generating them in full on a CPU is out of the question, but
+// the precision and communication maps only need per-tile Frobenius norms.
+// We estimate each tile's norm from a uniform random sample of its entries
+// (unbiased for the mean square, concentration ~1/sqrt(samples)), exactly
+// the kind of preprocessing sampling the paper points to in Section VII-F.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/precision_map.hpp"
+#include "stats/covariance.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+
+struct SampledNorms {
+  std::size_t nt = 0;
+  std::vector<double> tile_norms;  ///< packed lower triangle
+  double global_norm = 0.0;        ///< full symmetric matrix estimate
+};
+
+/// Estimate tile norms for an nt*nb x nt*nb covariance matrix over `locs`
+/// (locs.size() must be >= nt*nb) using `samples` random entries per tile.
+SampledNorms sample_tile_norms(const Covariance& cov, const LocationSet& locs,
+                               std::span<const double> theta, std::size_t nt,
+                               std::size_t nb, std::size_t samples, Rng& rng);
+
+/// Convenience: sampled norms -> Higham–Mary precision map.
+PrecisionMap sampled_precision_map(const Covariance& cov,
+                                   const LocationSet& locs,
+                                   std::span<const double> theta,
+                                   std::size_t nt, std::size_t nb,
+                                   double u_req,
+                                   std::span<const Precision> ladder,
+                                   std::size_t samples, Rng& rng,
+                                   double fp16_32_eps = 0.0);
+
+}  // namespace mpgeo

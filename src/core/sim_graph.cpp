@@ -1,0 +1,170 @@
+#include "core/sim_graph.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+namespace {
+
+/// Bytes/element a kernel of precision `p` wants its 16/32/64-bit inputs in.
+std::size_t input_bpe(Precision p) { return bytes_per_element(wire_storage(p)); }
+
+}  // namespace
+
+std::pair<int, int> process_grid(int devices) {
+  MPGEO_REQUIRE(devices >= 1, "process_grid: need at least one device");
+  int p = static_cast<int>(std::sqrt(double(devices)));
+  while (p > 1 && devices % p != 0) --p;
+  return {p, devices / p};
+}
+
+int tile_owner(std::size_t m, std::size_t k, int devices) {
+  const auto [p, q] = process_grid(devices);
+  return int(m % std::size_t(p)) + int(k % std::size_t(q)) * p;
+}
+
+double cholesky_flops(std::size_t n) {
+  const double dn = double(n);
+  return dn * dn * dn / 3.0;
+}
+
+TaskGraph build_cholesky_sim_graph(const PrecisionMap& pmap, const CommMap& cmap,
+                                   const ClusterConfig& cluster,
+                                   const SimGraphOptions& options) {
+  const std::size_t nt = pmap.nt();
+  MPGEO_REQUIRE(cmap.nt() == nt, "sim graph: map size mismatch");
+  const std::size_t b = options.tile;
+  const double b3 = double(b) * double(b) * double(b);
+  const double elems = double(b) * double(b);
+  const int devices = cluster.total_gpus();
+
+  TaskGraph graph;
+  std::vector<DataId> data(nt * (nt + 1) / 2);
+  auto did = [&](std::size_t m, std::size_t k) {
+    return data[m * (m + 1) / 2 + k];
+  };
+  auto storage_bytes = [&](std::size_t m, std::size_t k) {
+    return std::size_t(elems) * bytes_per_element(pmap.storage(m, k));
+  };
+  auto wire_bytes = [&](std::size_t m, std::size_t k) {
+    return std::size_t(elems) * cmap.wire_bytes_per_element(m, k);
+  };
+  // Wire format a consumer of tile (m, k) receives it in.
+  auto arriving = [&](std::size_t m, std::size_t k) {
+    return cmap.uses_stc(m, k, pmap) ? wire_storage(cmap.comm(m, k))
+                                     : pmap.storage(m, k);
+  };
+  // Receiver-side conversion traffic when `need` differs from what arrives.
+  auto conv_bytes = [&](Storage from, Storage need) {
+    if (from == need) return 0.0;
+    return elems * double(bytes_per_element(from) + bytes_per_element(need));
+  };
+
+  for (std::size_t m = 0; m < nt; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      DataInfo info;
+      info.bytes = storage_bytes(m, k);
+      data[m * (m + 1) / 2 + k] = graph.add_data(info);
+    }
+  }
+
+  if (options.device_side_generation) {
+    for (std::size_t m = 0; m < nt; ++m) {
+      for (std::size_t k = 0; k <= m; ++k) {
+        TaskInfo ti;
+        ti.kind = KernelKind::GENERATE;
+        ti.device = tile_owner(m, k, devices);
+        ti.wire_bytes = storage_bytes(m, k);
+        graph.add_task(ti, {{did(m, k), AccessMode::Write}});
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < nt; ++k) {
+    {  // POTRF(k, k), always FP64 on the diagonal's owner.
+      TaskInfo ti;
+      ti.kind = KernelKind::POTRF;
+      ti.prec = Precision::FP64;
+      ti.tm = ti.tn = int(k);
+      ti.flops = b3 / 3.0;
+      ti.device = tile_owner(k, k, devices);
+      if (cmap.uses_stc(k, k, pmap)) {
+        // Sender-side conversion: the communication engine down-casts the
+        // payload once as part of the broadcast. Modelled as HBM traffic on
+        // the producer plus a narrower wire — not as a separate task, which
+        // would (wrongly) also gate same-device consumers.
+        ti.wire_bytes = wire_bytes(k, k);
+        ti.extra_conv_bytes +=
+            elems * double(bytes_per_element(pmap.storage(k, k)) +
+                           cmap.wire_bytes_per_element(k, k));
+      } else {
+        ti.wire_bytes = storage_bytes(k, k);
+      }
+      graph.add_task(ti, {{did(k, k), AccessMode::ReadWrite}});
+    }
+    for (std::size_t m = k + 1; m < nt; ++m) {  // panel TRSMs
+      TaskInfo ti;
+      ti.kind = KernelKind::TRSM;
+      ti.prec = pmap.trsm_precision(m, k);
+      ti.tm = int(m);
+      ti.tk = int(k);
+      ti.flops = b3;
+      ti.device = tile_owner(m, k, devices);
+      ti.extra_conv_bytes = conv_bytes(arriving(k, k), wire_storage(ti.prec));
+      if (cmap.uses_stc(m, k, pmap)) {
+        ti.wire_bytes = wire_bytes(m, k);
+        ti.extra_conv_bytes +=
+            elems * double(bytes_per_element(pmap.storage(m, k)) +
+                           cmap.wire_bytes_per_element(m, k));
+      } else {
+        ti.wire_bytes = storage_bytes(m, k);
+      }
+      graph.add_task(
+          ti, {{did(k, k), AccessMode::Read}, {did(m, k), AccessMode::ReadWrite}});
+    }
+    for (std::size_t m = k + 1; m < nt; ++m) {  // diagonal SYRKs (FP64)
+      TaskInfo ti;
+      ti.kind = KernelKind::SYRK;
+      ti.prec = Precision::FP64;
+      ti.tm = int(m);
+      ti.tk = int(k);
+      ti.flops = b3;
+      ti.device = tile_owner(m, m, devices);
+      ti.wire_bytes = storage_bytes(m, m);
+      ti.extra_conv_bytes = conv_bytes(arriving(m, k), Storage::FP64);
+      graph.add_task(
+          ti, {{did(m, k), AccessMode::Read}, {did(m, m), AccessMode::ReadWrite}});
+    }
+    for (std::size_t m = k + 2; m < nt; ++m) {  // trailing GEMMs
+      for (std::size_t n = k + 1; n < m; ++n) {
+        TaskInfo ti;
+        ti.kind = KernelKind::GEMM;
+        ti.prec = pmap.kernel(m, n);
+        ti.tm = int(m);
+        ti.tn = int(n);
+        ti.tk = int(k);
+        ti.flops = 2.0 * b3;
+        ti.device = tile_owner(m, n, devices);
+        ti.wire_bytes = storage_bytes(m, n);
+        const auto need = Storage(input_bpe(ti.prec) == 8   ? Storage::FP64
+                                  : input_bpe(ti.prec) == 4 ? Storage::FP32
+                                                            : Storage::FP16);
+        ti.extra_conv_bytes = conv_bytes(arriving(m, k), need) +
+                              conv_bytes(arriving(n, k), need);
+        if (ti.prec == Precision::FP16) {
+          // Pure-FP16 GEMM also round-trips its FP32-stored C operand
+          // through binary16 (down before, up after the tensor-core call).
+          ti.extra_conv_bytes += 2.0 * elems * (4.0 + 2.0);
+        }
+        graph.add_task(ti, {{did(m, k), AccessMode::Read},
+                            {did(n, k), AccessMode::Read},
+                            {did(m, n), AccessMode::ReadWrite}});
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace mpgeo

@@ -1,0 +1,83 @@
+#include "core/tile_matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+
+TileMatrix::TileMatrix(std::size_t n, std::size_t nb) : n_(n), nb_(nb) {
+  MPGEO_REQUIRE(n >= 1, "TileMatrix: empty matrix");
+  MPGEO_REQUIRE(nb >= 1, "TileMatrix: tile size must be positive");
+  nt_ = (n + nb - 1) / nb;
+  tiles_.reserve(nt_ * (nt_ + 1) / 2);
+  for (std::size_t m = 0; m < nt_; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      tiles_.emplace_back(tile_rows(m), tile_rows(k), Storage::FP64);
+    }
+  }
+}
+
+std::size_t TileMatrix::tile_rows(std::size_t m) const {
+  MPGEO_ASSERT(m < nt_);
+  return (m + 1 == nt_) ? n_ - m * nb_ : nb_;
+}
+
+std::size_t TileMatrix::index(std::size_t m, std::size_t k) const {
+  MPGEO_REQUIRE(m < nt_ && k <= m,
+                "TileMatrix: tile index outside lower triangle");
+  return m * (m + 1) / 2 + k;
+}
+
+AnyTile& TileMatrix::tile(std::size_t m, std::size_t k) {
+  return tiles_[index(m, k)];
+}
+
+const AnyTile& TileMatrix::tile(std::size_t m, std::size_t k) const {
+  return tiles_[index(m, k)];
+}
+
+void TileMatrix::set_storage(std::size_t m, std::size_t k, Storage s) {
+  tiles_[index(m, k)] = AnyTile(tile_rows(m), tile_rows(k), s);
+}
+
+std::size_t TileMatrix::bytes() const {
+  std::size_t total = 0;
+  for (const AnyTile& t : tiles_) total += t.bytes();
+  return total;
+}
+
+double TileMatrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (std::size_t m = 0; m < nt_; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      const double f = tile(m, k).frobenius_norm();
+      acc += (m == k ? 1.0 : 2.0) * f * f;  // off-diagonal mirrored
+    }
+  }
+  return std::sqrt(acc);
+}
+
+Matrix<double> TileMatrix::to_dense() const {
+  Matrix<double> out(n_, n_);
+  for (std::size_t m = 0; m < nt_; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      const AnyTile& t = tile(m, k);
+      for (std::size_t j = 0; j < t.cols(); ++j) {
+        for (std::size_t i = 0; i < t.rows(); ++i) {
+          // Diagonal tiles: the strictly-upper part is not stored content
+          // (a factored tile keeps zeros there); mirror only from below.
+          if (m == k && i < j) continue;
+          const double v = t.at(i, j);
+          const std::size_t gi = m * nb_ + i;
+          const std::size_t gj = k * nb_ + j;
+          out(gi, gj) = v;
+          out(gj, gi) = v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mpgeo

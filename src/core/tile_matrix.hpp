@@ -1,0 +1,56 @@
+// Symmetric positive definite matrix stored as a lower-triangular grid of
+// precision-erased tiles — the data structure the mixed-precision Cholesky
+// factors in place. Tile (m, k) with m >= k holds rows [m*nb, ...) x cols
+// [k*nb, ...); by symmetry the upper triangle is never materialized.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/anytile.hpp"
+#include "linalg/matrix.hpp"
+#include "precision/precision.hpp"
+
+namespace mpgeo {
+
+class TileMatrix {
+ public:
+  /// An n x n symmetric matrix cut into ceil(n/nb)^2 tiles. Storage formats
+  /// are assigned per tile via `storage_of(m, k)` before filling.
+  TileMatrix(std::size_t n, std::size_t nb);
+
+  std::size_t n() const { return n_; }
+  std::size_t nb() const { return nb_; }
+  std::size_t num_tiles() const { return nt_; }  ///< tiles per dimension
+
+  /// Rows in tile row m (the last tile row may be ragged).
+  std::size_t tile_rows(std::size_t m) const;
+
+  AnyTile& tile(std::size_t m, std::size_t k);
+  const AnyTile& tile(std::size_t m, std::size_t k) const;
+
+  /// Re-allocate tile (m, k) with the given storage (contents reset to 0).
+  void set_storage(std::size_t m, std::size_t k, Storage s);
+
+  /// Total bytes at rest across all stored tiles (the paper's storage-cost
+  /// reduction claim is measured here).
+  std::size_t bytes() const;
+
+  /// Frobenius norm of the full symmetric matrix (off-diagonal tiles counted
+  /// twice), used by the Higham–Mary precision rule.
+  double frobenius_norm() const;
+
+  /// Materialize the full symmetric matrix in FP64 (tests / small problems).
+  Matrix<double> to_dense() const;
+
+ private:
+  std::size_t index(std::size_t m, std::size_t k) const;
+
+  std::size_t n_ = 0;
+  std::size_t nb_ = 0;
+  std::size_t nt_ = 0;
+  std::vector<AnyTile> tiles_;  // packed lower triangle, row-major
+};
+
+}  // namespace mpgeo

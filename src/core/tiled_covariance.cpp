@@ -1,0 +1,29 @@
+#include "core/tiled_covariance.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+
+TileMatrix build_tiled_covariance(const Covariance& cov,
+                                  const LocationSet& locs,
+                                  std::span<const double> theta, std::size_t nb,
+                                  double nugget) {
+  cov.check_params(theta);
+  const std::size_t n = locs.size();
+  TileMatrix a(n, nb);
+  std::vector<double> buf;
+  for (std::size_t m = 0; m < a.num_tiles(); ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      AnyTile& t = a.tile(m, k);
+      buf.resize(t.size());
+      covariance_tile(cov, locs, theta, m * nb, k * nb, t.rows(), t.cols(),
+                      buf.data(), t.rows(), nugget);
+      t.from_double(buf);
+    }
+  }
+  return a;
+}
+
+}  // namespace mpgeo

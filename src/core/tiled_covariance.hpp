@@ -1,0 +1,22 @@
+// Bridge from the statistics layer to the tiled linear algebra: generate
+// the covariance matrix Sigma(theta) directly in tile form (FP64; the
+// precision/storage maps are applied afterwards by mp_cholesky, mirroring
+// the paper's generation-then-store-per-precision flow of Fig 2b).
+#pragma once
+
+#include <span>
+
+#include "core/tile_matrix.hpp"
+#include "stats/covariance.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+
+/// Build the lower triangle of Sigma(theta) as an FP64 TileMatrix with tile
+/// size `nb`. `nugget * sigma2` is added on the global diagonal.
+TileMatrix build_tiled_covariance(const Covariance& cov,
+                                  const LocationSet& locs,
+                                  std::span<const double> theta, std::size_t nb,
+                                  double nugget = 1e-8);
+
+}  // namespace mpgeo

@@ -1,0 +1,44 @@
+#include "gpusim/cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+
+ClusterConfig summit_cluster(int num_nodes) {
+  MPGEO_REQUIRE(num_nodes >= 1, "summit_cluster: need at least one node");
+  ClusterConfig c;
+  c.gpu = v100_spec();
+  c.num_nodes = num_nodes;
+  c.gpus_per_node = 6;
+  c.network_gbs = 25.0;
+  c.network_latency_us = 2.0;
+  return c;
+}
+
+ClusterConfig guyot_node(int num_gpus) {
+  MPGEO_REQUIRE(num_gpus >= 1 && num_gpus <= 8, "guyot_node: 1..8 GPUs");
+  ClusterConfig c;
+  c.gpu = a100_spec();
+  c.num_nodes = 1;
+  c.gpus_per_node = num_gpus;
+  c.network_gbs = 25.0;
+  return c;
+}
+
+ClusterConfig haxane_node() {
+  ClusterConfig c;
+  c.gpu = h100_spec();
+  c.num_nodes = 1;
+  c.gpus_per_node = 1;
+  return c;
+}
+
+ClusterConfig single_gpu(GpuModel m) {
+  ClusterConfig c;
+  c.gpu = spec_for(m);
+  c.num_nodes = 1;
+  c.gpus_per_node = 1;
+  return c;
+}
+
+}  // namespace mpgeo

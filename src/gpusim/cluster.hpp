@@ -1,0 +1,36 @@
+// Cluster topology descriptions for the three testbeds in the paper.
+//
+// A cluster is `num_nodes` identical nodes, each holding `gpus_per_node`
+// GPUs of one spec. Within a node, GPUs exchange tiles over the peer link
+// and pull host-resident data over the host link; across nodes, payloads
+// traverse the network (Summit: dual-rail EDR InfiniBand).
+#pragma once
+
+#include "gpusim/gpu_specs.hpp"
+
+namespace mpgeo {
+
+struct ClusterConfig {
+  GpuSpec gpu;
+  int num_nodes = 1;
+  int gpus_per_node = 1;
+  double network_gbs = 25.0;      ///< inter-node bandwidth per endpoint
+  double network_latency_us = 2.0;
+
+  int total_gpus() const { return num_nodes * gpus_per_node; }
+  int node_of(int device) const { return device / gpus_per_node; }
+};
+
+/// Summit (ORNL): 6 NVLink V100s per node, dual-rail EDR IB (2 x 12.5 GB/s).
+ClusterConfig summit_cluster(int num_nodes);
+
+/// Guyot (ICL): one node, 8 A100-SXM4-80GB.
+ClusterConfig guyot_node(int num_gpus = 8);
+
+/// Haxane (ICL): one node, 1 H100 PCIe.
+ClusterConfig haxane_node();
+
+/// A single GPU of the given model (used by the 1-GPU experiments).
+ClusterConfig single_gpu(GpuModel m);
+
+}  // namespace mpgeo

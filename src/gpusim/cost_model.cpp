@@ -1,0 +1,126 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+namespace {
+
+// Kernel-shape efficiency relative to GEMM: panel factorization and
+// triangular solves expose far less parallelism per flop on a GPU.
+constexpr double kPotrfFactor = 0.30;
+constexpr double kTrsmFactor = 0.62;   // cuBLAS TRSM at tile sizes ~10 Tflop/s FP32 on V100
+constexpr double kSyrkFactor = 0.92;   // cuBLAS SYRK runs close to GEMM rate
+
+// Size at which a kernel reaches ~98% of its asymptotic rate.
+constexpr double kHalfSaturation = 24.0;
+
+double tflops_to_flops(double tf) { return tf * 1e12; }
+
+}  // namespace
+
+double CostModel::size_efficiency(std::size_t n) const {
+  const double d = static_cast<double>(std::max<std::size_t>(n, 1));
+  return d / (d + kHalfSaturation);
+}
+
+double CostModel::gemm_seconds(Precision p, std::size_t m, std::size_t n,
+                               std::size_t k) const {
+  const double flops = 2.0 * double(m) * double(n) * double(k);
+  const double rate = tflops_to_flops(spec_.peak_tflops(p)) *
+                      spec_.sustained_fraction(p) *
+                      size_efficiency(std::min({m, n, k}));
+  return flops / rate;
+}
+
+double CostModel::potrf_seconds(Precision p, std::size_t n) const {
+  const double flops = double(n) * double(n) * double(n) / 3.0;
+  const double rate = tflops_to_flops(spec_.peak_tflops(p)) *
+                      spec_.sustained_fraction(p) * kPotrfFactor *
+                      size_efficiency(n);
+  return flops / rate;
+}
+
+double CostModel::trsm_seconds(Precision p, std::size_t m, std::size_t n) const {
+  MPGEO_REQUIRE(p == Precision::FP64 || p == Precision::FP32,
+                "trsm: GPUs provide only FP64/FP32 TRSM");
+  const double flops = double(m) * double(n) * double(n);
+  const double rate = tflops_to_flops(spec_.peak_tflops(p)) *
+                      spec_.sustained_fraction(p) * kTrsmFactor *
+                      size_efficiency(std::min(m, n));
+  return flops / rate;
+}
+
+double CostModel::syrk_seconds(Precision p, std::size_t n, std::size_t k) const {
+  const double flops = double(n) * double(n) * double(k);
+  const double rate = tflops_to_flops(spec_.peak_tflops(p)) *
+                      spec_.sustained_fraction(p) * kSyrkFactor *
+                      size_efficiency(std::min(n, k));
+  return flops / rate;
+}
+
+double CostModel::conversion_seconds(std::size_t elems, Storage from,
+                                     Storage to) const {
+  // Elementwise cast: stream elems in at `from` width, out at `to` width.
+  const double bytes = double(elems) * double(bytes_per_element(from)) +
+                       double(elems) * double(bytes_per_element(to));
+  // 5 us flat kernel-launch overhead: conversions are many and tiny, so the
+  // launch cost is a visible part of what STC amortizes.
+  return bytes / (spec_.hbm_bandwidth_gbs * 1e9) + 5e-6;
+}
+
+double CostModel::generate_seconds(std::size_t m, std::size_t n) const {
+  // Covariance tile generation: ~50 flops/element (distance + exp/Bessel)
+  // plus one FP64 store per element; generally store-bound.
+  const double elems = double(m) * double(n);
+  const double compute = elems * 50.0 /
+                         (tflops_to_flops(spec_.peak_tflops(Precision::FP32)));
+  const double store = elems * 8.0 / (spec_.hbm_bandwidth_gbs * 1e9);
+  return std::max(compute, store);
+}
+
+double CostModel::host_transfer_seconds(std::size_t bytes) const {
+  return double(bytes) / (spec_.host_link_gbs * 1e9) +
+         spec_.link_latency_us * 1e-6;
+}
+
+double CostModel::peer_transfer_seconds(std::size_t bytes) const {
+  return double(bytes) / (spec_.peer_link_gbs * 1e9) +
+         spec_.link_latency_us * 1e-6;
+}
+
+double CostModel::task_seconds(const TaskInfo& info, std::size_t tile) const {
+  // Receiver-side conversions (TTC) stream their operands through HBM
+  // before the kernel proper can run.
+  const double conv = info.extra_conv_bytes / (spec_.hbm_bandwidth_gbs * 1e9);
+  return conv + base_task_seconds(info, tile);
+}
+
+double CostModel::base_task_seconds(const TaskInfo& info,
+                                    std::size_t tile) const {
+  switch (info.kind) {
+    case KernelKind::POTRF: return potrf_seconds(info.prec, tile);
+    case KernelKind::TRSM: return trsm_seconds(info.prec, tile, tile);
+    case KernelKind::SYRK: return syrk_seconds(info.prec, tile, tile);
+    case KernelKind::GEMM: return gemm_seconds(info.prec, tile, tile, tile);
+    case KernelKind::CONVERT:
+      return conversion_seconds(tile * tile, info.conv_from, info.conv_to);
+    case KernelKind::GENERATE: return generate_seconds(tile, tile);
+    case KernelKind::CUSTOM: {
+      const double rate = tflops_to_flops(spec_.peak_tflops(info.prec)) *
+                          spec_.sustained_fraction(info.prec);
+      return info.flops > 0 ? info.flops / rate : 0.0;
+    }
+  }
+  MPGEO_ASSERT(false);
+  return 0;
+}
+
+double CostModel::active_watts(Precision p) const {
+  return spec_.idle_watts +
+         spec_.active_power_fraction(p) * (spec_.tdp_watts - spec_.idle_watts);
+}
+
+}  // namespace mpgeo

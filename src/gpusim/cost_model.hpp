@@ -1,0 +1,70 @@
+// Analytical kernel/transfer cost model for simulated GPUs.
+//
+// Times are derived from the GpuSpec's peak rates with a size-dependent
+// efficiency roll-off (small tiles cannot fill the device). The model is
+// calibrated against the paper's own measurements: Table II (V100 transfer
+// and GEMM times at sizes 2048..10240) is reproduced to within a few
+// percent, which anchors the crossovers the evaluation section reports.
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/gpu_specs.hpp"
+#include "precision/precision.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace mpgeo {
+
+class CostModel {
+ public:
+  explicit CostModel(GpuSpec spec) : spec_(std::move(spec)) {}
+
+  const GpuSpec& spec() const { return spec_; }
+
+  /// Seconds for a GEMM of C(m x n) += A(m x k) * B(k x n) at precision p.
+  double gemm_seconds(Precision p, std::size_t m, std::size_t n,
+                      std::size_t k) const;
+
+  /// Seconds for a tile POTRF (n x n). Always FP64 in our framework.
+  double potrf_seconds(Precision p, std::size_t n) const;
+
+  /// Seconds for a TRSM panel solve of an m x n block against an n x n
+  /// triangle. FP64/FP32 only on Nvidia hardware.
+  double trsm_seconds(Precision p, std::size_t m, std::size_t n) const;
+
+  /// Seconds for a SYRK trailing update of an n x n tile with rank k.
+  double syrk_seconds(Precision p, std::size_t n, std::size_t k) const;
+
+  /// Seconds to convert `elems` elements between storage formats on-device.
+  /// Memory-bound: reads src width, writes dst width at HBM bandwidth.
+  double conversion_seconds(std::size_t elems, Storage from, Storage to) const;
+
+  /// Seconds to generate an m x n covariance tile on the device (memory-
+  /// bound elementwise kernel with a moderate per-element flop cost).
+  double generate_seconds(std::size_t m, std::size_t n) const;
+
+  /// Seconds to move `bytes` across the host link (H2D or D2H).
+  double host_transfer_seconds(std::size_t bytes) const;
+
+  /// Seconds to move `bytes` between two GPUs in the same node.
+  double peer_transfer_seconds(std::size_t bytes) const;
+
+  /// Seconds for a task described by TaskInfo (dispatches on kind using the
+  /// tile geometry encoded in the info's flops field / coordinates).
+  double task_seconds(const TaskInfo& info, std::size_t tile) const;
+
+  /// Watts drawn while running a kernel of precision p (full utilization).
+  double active_watts(Precision p) const;
+  double idle_watts() const { return spec_.idle_watts; }
+
+ private:
+  /// Size-dependent fraction of sustained throughput actually achieved
+  /// by a kernel whose smallest dimension is `n`.
+  double size_efficiency(std::size_t n) const;
+
+  double base_task_seconds(const TaskInfo& info, std::size_t tile) const;
+
+  GpuSpec spec_;
+};
+
+}  // namespace mpgeo

@@ -1,0 +1,63 @@
+// Hardware models of the three Nvidia GPU generations the paper evaluates
+// (Table I), plus link/memory/power characteristics assembled from the
+// paper's own measurements (Table II calibrates the V100 host link at
+// 50 GB/s NVLink) and public datasheets. These numbers parameterize the
+// analytical cost model and the discrete-event simulator that stand in for
+// Summit/Guyot/Haxane.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "precision/precision.hpp"
+
+namespace mpgeo {
+
+enum class GpuModel { V100, A100, H100 };
+
+std::string to_string(GpuModel m);
+
+struct GpuSpec {
+  GpuModel model = GpuModel::V100;
+  std::string name;
+
+  /// Theoretical peak in Tflop/s for a given compute precision (Table I).
+  /// On A100/H100, FP64 runs on tensor cores and matches FP32 peak — the
+  /// paper leans on this repeatedly when explaining energy trends.
+  double peak_tflops(Precision p) const;
+
+  /// Fraction of peak a well-tuned GEMM sustains at large size. The paper's
+  /// Fig 1d shows H100 PCIe GEMM lands visibly below peak while V100/A100
+  /// sit at ~power of the peak; Fig 8 quantifies 62% of peak = 82% of
+  /// sustained on H100.
+  double sustained_fraction(Precision p) const;
+
+  double fp64_tflops = 0;         ///< CUDA-core FP64 (V100) or tensor FP64
+  double fp32_tflops = 0;
+  double tf32_tflops = 0;         ///< 0 when the GPU has no TF32 mode
+  double fp16_tensor_tflops = 0;
+  double bf16_tensor_tflops = 0;  ///< 0 when absent (V100)
+
+  double hbm_bandwidth_gbs = 0;   ///< device memory bandwidth
+  double host_link_gbs = 0;      ///< host<->device per-direction bandwidth
+  double peer_link_gbs = 0;      ///< GPU<->GPU within a node
+  double link_latency_us = 0;    ///< per-transfer fixed cost
+
+  std::size_t memory_bytes = 0;
+
+  double tdp_watts = 0;
+  double idle_watts = 0;
+  /// Dynamic power at full utilization relative to (TDP - idle) for a given
+  /// compute precision. Tensor-core modes draw slightly less than the
+  /// FP64-vector worst case per unit time while retiring far more flops —
+  /// the per-flop energy advantage Fig 10 reports.
+  double active_power_fraction(Precision p) const;
+};
+
+/// Factory functions for the three GPUs in the paper's testbeds.
+GpuSpec v100_spec();   ///< Summit: NVLink-attached SXM2
+GpuSpec a100_spec();   ///< Guyot: A100-SXM4-80GB
+GpuSpec h100_spec();   ///< Haxane: H100 PCIe
+GpuSpec spec_for(GpuModel m);
+
+}  // namespace mpgeo

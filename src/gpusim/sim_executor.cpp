@@ -1,0 +1,471 @@
+#include "gpusim/sim_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <list>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+namespace {
+
+constexpr int kHost = -1;
+
+enum class EventKind { Staged, Done };
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::Staged;
+  TaskId task = 0;
+  bool operator>(const Event& o) const {
+    if (time != o.time) return time > o.time;
+    return task > o.task;
+  }
+};
+
+// Scheduling priority, PaRSEC-style: panel tasks (POTRF, TRSM and the STC
+// conversions that gate their broadcasts) preempt queued trailing-update
+// work, and earlier iterations run first. Without this, the tiny
+// latency-critical conversion tasks sit behind dozens of queued GEMMs and
+// sender-side conversion *loses* time despite moving half the bytes — a
+// textbook priority inversion the real runtime avoids.
+struct TaskPriority {
+  int cls = 0;
+  int iter = 0;
+  TaskId id = 0;
+  // Smaller is more urgent.
+  bool operator<(const TaskPriority& o) const {
+    if (cls != o.cls) return cls < o.cls;
+    if (iter != o.iter) return iter < o.iter;
+    return id < o.id;
+  }
+};
+
+TaskPriority priority_of(const TaskInfo& info, TaskId id) {
+  int cls = 6;
+  switch (info.kind) {
+    case KernelKind::POTRF: cls = 0; break;
+    case KernelKind::TRSM: cls = 1; break;
+    case KernelKind::CONVERT: cls = 2; break;
+    case KernelKind::SYRK: cls = 3; break;
+    case KernelKind::GENERATE: cls = 4; break;
+    case KernelKind::GEMM: cls = 5; break;
+    case KernelKind::CUSTOM: cls = 6; break;
+  }
+  const int iter = info.tk >= 0 ? info.tk : (info.tm >= 0 ? info.tm : 0);
+  return TaskPriority{cls, iter, id};
+}
+
+struct BusyInterval {
+  double start = 0.0;
+  double end = 0.0;
+  Precision prec = Precision::FP64;
+};
+
+/// Per-device resident-tile cache with LRU eviction — models GPU memory for
+/// the paper's out-of-core single-GPU runs (matrix up to ~115 GB on a 16 GB
+/// V100), where host<->device traffic dominates and the wire precision of
+/// each tile decides whether transfers hide behind compute.
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(std::size_t capacity) : capacity_(capacity) {}
+
+  bool contains(DataId d) const { return entries_.count(d) != 0; }
+
+  void touch(DataId d) {
+    auto it = entries_.find(d);
+    MPGEO_ASSERT(it != entries_.end());
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(d);
+    it->second.lru_pos = lru_.begin();
+  }
+
+  /// Insert (or refresh) a resident tile. Returns the dirty data evicted to
+  /// make room; clean evictions are silent (host already has them).
+  std::vector<std::pair<DataId, std::size_t>> insert(DataId d, std::size_t bytes,
+                                                     bool dirty) {
+    std::vector<std::pair<DataId, std::size_t>> writebacks;
+    auto it = entries_.find(d);
+    if (it != entries_.end()) {
+      used_ -= it->second.bytes;
+      it->second.bytes = bytes;
+      it->second.dirty = it->second.dirty || dirty;
+      used_ += bytes;
+      touch(d);
+      return writebacks;
+    }
+    // Evict unpinned LRU entries until the newcomer fits. If everything is
+    // pinned we run transiently over capacity (kernels in flight must keep
+    // their operands), which matches how a real runtime reserves workspace.
+    while (used_ + bytes > capacity_ && evict_one(writebacks)) {
+    }
+    lru_.push_front(d);
+    entries_[d] = Entry{bytes, dirty, 0, lru_.begin()};
+    used_ += bytes;
+    return writebacks;
+  }
+
+  void pin(DataId d) {
+    auto it = entries_.find(d);
+    MPGEO_ASSERT(it != entries_.end());
+    it->second.pinned++;
+  }
+
+  void unpin(DataId d) {
+    auto it = entries_.find(d);
+    if (it == entries_.end()) return;  // already invalidated by a writer
+    MPGEO_ASSERT(it->second.pinned > 0);
+    it->second.pinned--;
+  }
+
+  void mark_dirty(DataId d) {
+    auto it = entries_.find(d);
+    MPGEO_ASSERT(it != entries_.end());
+    it->second.dirty = true;
+  }
+
+  /// Drop a datum (remote write invalidated it). No writeback: stale data.
+  void invalidate(DataId d) {
+    auto it = entries_.find(d);
+    if (it == entries_.end()) return;
+    used_ -= it->second.bytes;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+
+ private:
+  struct Entry {
+    std::size_t bytes = 0;
+    bool dirty = false;
+    int pinned = 0;
+    std::list<DataId>::iterator lru_pos;
+  };
+
+  bool evict_one(std::vector<std::pair<DataId, std::size_t>>& writebacks) {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto e = entries_.find(*it);
+      MPGEO_ASSERT(e != entries_.end());
+      if (e->second.pinned > 0) continue;
+      if (e->second.dirty) {
+        writebacks.emplace_back(*it, e->second.bytes);
+      }
+      used_ -= e->second.bytes;
+      entries_.erase(e);
+      lru_.erase(std::next(it).base());
+      return true;
+    }
+    return false;  // everything pinned
+  }
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::list<DataId> lru_;  // front = most recent
+  std::unordered_map<DataId, Entry> entries_;
+};
+
+class Simulation {
+ public:
+  Simulation(const TaskGraph& graph, const ClusterConfig& cluster,
+             const SimOptions& options)
+      : graph_(graph),
+        cluster_(cluster),
+        options_(options),
+        cost_(cluster.gpu),
+        num_devices_(cluster.total_gpus()) {
+    const std::size_t nt = graph.num_tasks();
+    indegree_.resize(nt);
+    for (TaskId t = 0; t < nt; ++t) {
+      const Task& task = graph.task(t);
+      indegree_[t] = task.num_predecessors;
+      MPGEO_REQUIRE(task.info.device >= 0 && task.info.device < num_devices_,
+                    "simulate: task '" + task.info.name +
+                        "' has no device mapping for this cluster");
+    }
+    host_valid_.assign(graph.num_data(), true);
+    producer_wire_bytes_.assign(graph.num_data(), 0);
+    writer_device_.assign(graph.num_data(), kHost);
+    link_in_free_.assign(num_devices_, 0.0);
+    link_out_free_.assign(num_devices_, 0.0);
+    nic_free_.assign(cluster.num_nodes, 0.0);
+    running_.assign(num_devices_, false);
+    ready_queues_.resize(num_devices_);
+    busy_.resize(num_devices_);
+    bytes_received_.assign(num_devices_, 0);
+    kernels_run_.assign(num_devices_, 0);
+    memory_.reserve(num_devices_);
+    for (int d = 0; d < num_devices_; ++d) {
+      memory_.emplace_back(cluster.gpu.memory_bytes);
+    }
+  }
+
+  SimReport run() {
+    for (TaskId t : graph_.roots()) on_ready(t, 0.0);
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      switch (ev.kind) {
+        case EventKind::Staged: on_staged(ev.task, ev.time); break;
+        case EventKind::Done: on_done(ev.task, ev.time); break;
+      }
+    }
+    MPGEO_REQUIRE(retired_ == graph_.num_tasks(),
+                  "simulate: deadlock — not all tasks retired (graph cycle?)");
+    return build_report();
+  }
+
+ private:
+  void on_ready(TaskId t, double now) {
+    const Task& task = graph_.task(t);
+    const int dev = task.info.device;
+    double staged = now;
+    for (const Access& a : task.accesses) {
+      if (a.mode == AccessMode::Write) continue;  // overwrite: nothing to pull
+      staged = std::max(staged, ensure_present(a.data, dev, now));
+    }
+    events_.push(Event{staged, EventKind::Staged, t});
+  }
+
+  /// Make datum d resident on dev; returns the time it is usable.
+  double ensure_present(DataId d, int dev, double now) {
+    if (memory_[dev].contains(d)) {
+      memory_[dev].touch(d);
+      return now;
+    }
+    const auto key = std::make_pair(d, dev);
+    if (auto it = arriving_.find(key); it != arriving_.end()) {
+      return it->second;  // transfer already in flight
+    }
+
+    const std::size_t bytes = payload_bytes(d);
+    // Source preference: same-node peer GPU, then host, then remote GPU.
+    const int my_node = cluster_.node_of(dev);
+    double seconds = 0.0;
+    const int wdev = writer_device_[d];
+    const bool on_device =
+        wdev != kHost && wdev != dev && memory_[wdev].contains(d);
+    if (on_device && cluster_.node_of(wdev) == my_node) {
+      seconds = cost_.peer_transfer_seconds(bytes);
+      peer_bytes_ += bytes;
+    } else if (host_valid_[d]) {
+      seconds = cost_.host_transfer_seconds(bytes);
+      h2d_bytes_ += bytes;
+    } else if (on_device) {
+      seconds = double(bytes) / (cluster_.network_gbs * 1e9) +
+                cluster_.network_latency_us * 1e-6;
+      network_bytes_ += bytes;
+      // Inter-node payloads contend on the receiving node's NIC, which all
+      // of the node's GPUs share (Summit: one dual-rail EDR pair per node).
+      const double start =
+          std::max({now, link_in_free_[dev], nic_free_[my_node]});
+      const double end = start + seconds;
+      link_in_free_[dev] = end;
+      nic_free_[my_node] = end;
+      bytes_received_[dev] += bytes;
+      arriving_[key] = end;
+      return end;
+    } else {
+      MPGEO_ASSERT(false);  // datum exists nowhere
+    }
+
+    const double start = std::max(now, link_in_free_[dev]);
+    const double end = start + seconds;
+    link_in_free_[dev] = end;
+    bytes_received_[dev] += bytes;
+    arriving_[key] = end;
+    return end;
+  }
+
+  void on_staged(TaskId t, double now) {
+    const Task& task = graph_.task(t);
+    const int dev = task.info.device;
+    // Inputs have landed: make them resident and pin for the kernel's life.
+    for (const Access& a : task.accesses) {
+      if (a.mode == AccessMode::Write) continue;
+      admit(a.data, dev, /*dirty=*/false, now);
+      memory_[dev].pin(a.data);
+      arriving_.erase(std::make_pair(a.data, dev));
+    }
+    if (options_.priority_scheduling) {
+      ready_queues_[dev].push(priority_of(task.info, t));
+    } else {
+      // FIFO by staging order: encode arrival sequence as the only key.
+      ready_queues_[dev].push(TaskPriority{0, int(fifo_seq_++), t});
+    }
+    maybe_start(dev, now);
+  }
+
+  // Pop the most urgent staged task if the device is idle and run it.
+  void maybe_start(int dev, double now) {
+    if (running_[dev] || ready_queues_[dev].empty()) return;
+    const TaskId t = ready_queues_[dev].top().id;
+    ready_queues_[dev].pop();
+    running_[dev] = true;
+    const Task& task = graph_.task(t);
+    const double dur = cost_.task_seconds(task.info, options_.tile);
+    const double end = now + dur;
+    if (dur > 0) busy_[dev].push_back(BusyInterval{now, end, task.info.prec});
+    kernels_run_[dev]++;
+    total_flops_ += task.info.flops;
+    events_.push(Event{end, EventKind::Done, t});
+  }
+
+  /// Insert into device memory, charging dirty writebacks to the out-link.
+  void admit(DataId d, int dev, bool dirty, double now) {
+    const auto writebacks = memory_[dev].insert(d, payload_bytes(d), dirty);
+    for (const auto& [victim, vbytes] : writebacks) {
+      // Evicted dirty tile drains to the host over the outgoing link. The
+      // host copy is declared valid immediately; a consumer racing the
+      // writeback would at worst start a few microseconds early, which is
+      // noise at tile granularity.
+      link_out_free_[dev] = std::max(link_out_free_[dev], now) +
+                            cost_.host_transfer_seconds(vbytes);
+      d2h_bytes_ += vbytes;
+      host_valid_[victim] = true;
+      if (writer_device_[victim] == dev) writer_device_[victim] = kHost;
+    }
+  }
+
+  void on_done(TaskId t, double now) {
+    const Task& task = graph_.task(t);
+    const int dev = task.info.device;
+    for (const Access& a : task.accesses) {
+      if (a.mode != AccessMode::Read) {
+        // New version: resident & dirty here, all other copies stale.
+        producer_wire_bytes_[a.data] = task.info.wire_bytes;
+        host_valid_[a.data] = false;
+        for (int other = 0; other < num_devices_; ++other) {
+          if (other != dev) {
+            memory_[other].invalidate(a.data);
+            arriving_.erase(std::make_pair(a.data, other));
+          }
+        }
+        admit(a.data, dev, /*dirty=*/true, now);
+        memory_[dev].mark_dirty(a.data);
+        writer_device_[a.data] = dev;
+      }
+      if (a.mode != AccessMode::Write) {
+        memory_[dev].unpin(a.data);
+      }
+    }
+    ++retired_;
+    running_[dev] = false;
+    for (TaskId succ : task.successors) {
+      MPGEO_ASSERT(indegree_[succ] > 0);
+      if (--indegree_[succ] == 0) on_ready(succ, now);
+    }
+    maybe_start(dev, now);
+  }
+
+  std::size_t payload_bytes(DataId d) const {
+    const std::size_t declared = producer_wire_bytes_[d];
+    return declared ? declared : graph_.data(d).bytes;
+  }
+
+  SimReport build_report() {
+    SimReport r;
+    for (int dev = 0; dev < num_devices_; ++dev) {
+      for (const BusyInterval& b : busy_[dev]) {
+        r.makespan_seconds = std::max(r.makespan_seconds, b.end);
+      }
+      r.makespan_seconds = std::max(r.makespan_seconds, link_in_free_[dev]);
+    }
+    r.total_flops = total_flops_;
+    r.host_to_device_bytes = h2d_bytes_;
+    r.device_to_host_bytes = d2h_bytes_;
+    r.peer_bytes = peer_bytes_;
+    r.network_bytes = network_bytes_;
+    r.devices.resize(num_devices_);
+    for (int dev = 0; dev < num_devices_; ++dev) {
+      DeviceSimStats& ds = r.devices[dev];
+      ds.kernels_run = kernels_run_[dev];
+      ds.bytes_received = bytes_received_[dev];
+      double active_energy = 0.0;
+      for (const BusyInterval& b : busy_[dev]) {
+        ds.busy_seconds += b.end - b.start;
+        active_energy += (b.end - b.start) *
+                         (cost_.active_watts(b.prec) - cost_.idle_watts());
+      }
+      ds.energy_joules = active_energy + r.makespan_seconds * cost_.idle_watts();
+      r.energy_joules += ds.energy_joules;
+    }
+    if (r.makespan_seconds > 0) {
+      r.average_power_watts =
+          r.energy_joules / r.makespan_seconds / double(num_devices_);
+    }
+    if (options_.occupancy_sample_seconds > 0 && r.makespan_seconds > 0) {
+      sample_occupancy(r);
+    }
+    return r;
+  }
+
+  void sample_occupancy(SimReport& r) {
+    const double dt = options_.occupancy_sample_seconds;
+    const std::size_t windows =
+        static_cast<std::size_t>(std::ceil(r.makespan_seconds / dt));
+    r.occupancy.assign(num_devices_, std::vector<double>(windows, 0.0));
+    r.occupancy_sample_seconds = dt;
+    for (int dev = 0; dev < num_devices_; ++dev) {
+      for (const BusyInterval& b : busy_[dev]) {
+        const auto w0 = static_cast<std::size_t>(b.start / dt);
+        const auto w1 =
+            std::min(windows - 1, static_cast<std::size_t>(b.end / dt));
+        for (std::size_t w = w0; w <= w1; ++w) {
+          const double lo = std::max(b.start, double(w) * dt);
+          const double hi = std::min(b.end, double(w + 1) * dt);
+          if (hi > lo) r.occupancy[dev][w] += (hi - lo) / dt;
+        }
+      }
+      for (auto& v : r.occupancy[dev]) v = std::min(v, 1.0);
+    }
+  }
+
+  const TaskGraph& graph_;
+  const ClusterConfig& cluster_;
+  const SimOptions& options_;
+  CostModel cost_;
+  int num_devices_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::vector<std::uint32_t> indegree_;
+  std::vector<bool> host_valid_;
+  std::vector<std::size_t> producer_wire_bytes_;
+  std::vector<int> writer_device_;
+  std::vector<DeviceMemory> memory_;
+  std::map<std::pair<DataId, int>, double> arriving_;
+  struct MinPriority {
+    bool operator()(const TaskPriority& a, const TaskPriority& b) const {
+      return b < a;  // min-heap: most urgent on top
+    }
+  };
+  std::vector<double> link_in_free_;
+  std::vector<double> link_out_free_;
+  std::vector<double> nic_free_;  ///< per-node shared NIC for network traffic
+  std::vector<bool> running_;
+  std::vector<std::priority_queue<TaskPriority, std::vector<TaskPriority>,
+                                  MinPriority>>
+      ready_queues_;
+  std::vector<std::vector<BusyInterval>> busy_;
+  std::vector<std::size_t> bytes_received_;
+  std::vector<std::size_t> kernels_run_;
+  std::uint32_t fifo_seq_ = 0;
+  std::size_t h2d_bytes_ = 0;
+  std::size_t d2h_bytes_ = 0;
+  std::size_t peer_bytes_ = 0;
+  std::size_t network_bytes_ = 0;
+  double total_flops_ = 0.0;
+  std::size_t retired_ = 0;
+};
+
+}  // namespace
+
+SimReport simulate(const TaskGraph& graph, const ClusterConfig& cluster,
+                   const SimOptions& options) {
+  if (graph.num_tasks() == 0) return {};
+  Simulation sim(graph, cluster, options);
+  return sim.run();
+}
+
+}  // namespace mpgeo

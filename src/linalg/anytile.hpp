@@ -1,0 +1,60 @@
+// Precision-erased tile: the unit of storage, communication and computation
+// in the mixed-precision tile Cholesky.
+//
+// A tile owns a column-major buffer in one of the three Storage formats
+// (Fig 2b of the paper). Kernels materialize tiles to double (exact for every
+// format), run the emulated-precision arithmetic, and write back through the
+// tile's storage rounding — exactly what happens on a GPU where a tile held
+// in FP32 is consumed by a tensor-core FP16_32 GEMM.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "precision/float16.hpp"
+#include "precision/precision.hpp"
+
+namespace mpgeo {
+
+class AnyTile {
+ public:
+  AnyTile() = default;
+  AnyTile(std::size_t rows, std::size_t cols, Storage storage);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  Storage storage() const { return storage_; }
+
+  /// Bytes this tile occupies at rest (and on the wire when sent as-is).
+  std::size_t bytes() const;
+
+  /// Copy out, widening exactly to double.
+  void to_double(std::span<double> out) const;
+  std::vector<double> to_double() const;
+
+  /// Copy in, rounding through the tile's storage format.
+  void from_double(std::span<const double> in);
+
+  /// Re-store the tile's payload in a different format (values round through
+  /// the new format; widening does not recover lost bits).
+  void convert_storage(Storage new_storage);
+
+  /// Frobenius norm of the stored values.
+  double frobenius_norm() const;
+
+  /// Element access (widened); row-major callers beware: (i, j) column major.
+  double at(std::size_t i, std::size_t j) const;
+  void set(std::size_t i, std::size_t j, double v);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Storage storage_ = Storage::FP64;
+  std::variant<std::vector<double>, std::vector<float>, std::vector<float16>>
+      buf_;
+};
+
+}  // namespace mpgeo

@@ -1,0 +1,180 @@
+#include "linalg/blas.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+
+template <class T>
+int potrf_lower(std::size_t n, T* a, std::size_t lda) {
+  MPGEO_REQUIRE(lda >= n || n == 0, "potrf: lda too small");
+  for (std::size_t j = 0; j < n; ++j) {
+    // a(j,j) -= sum_{p<j} a(j,p)^2
+    T diag = a[j + j * lda];
+    for (std::size_t p = 0; p < j; ++p) diag -= a[j + p * lda] * a[j + p * lda];
+    if (!(diag > T{0})) return static_cast<int>(j) + 1;
+    const T ljj = std::sqrt(diag);
+    a[j + j * lda] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      T v = a[i + j * lda];
+      for (std::size_t p = 0; p < j; ++p) v -= a[i + p * lda] * a[j + p * lda];
+      a[i + j * lda] = v / ljj;
+    }
+  }
+  return 0;
+}
+
+template <class T>
+void trsm_right_lower_trans(std::size_t m, std::size_t n, T alpha, const T* l,
+                            std::size_t ldl, T* b, std::size_t ldb) {
+  MPGEO_REQUIRE(ldl >= n || n == 0, "trsm: ldl too small");
+  MPGEO_REQUIRE(ldb >= m || m == 0, "trsm: ldb too small");
+  // Solve X * L^T = alpha * B column by column of X (i.e. row of L):
+  // X(:,j) = (alpha*B(:,j) - sum_{p>j} X(:,p) L(p,j)... careful with order.
+  // X L^T = B  =>  for j = 0..n-1: X(:,j) = (B(:,j) - sum_{p<j} X(:,p)*L(j,p)) / L(j,j)
+  for (std::size_t j = 0; j < n; ++j) {
+    const T ljj = l[j + j * ldl];
+    MPGEO_REQUIRE(ljj != T{0}, "trsm: singular triangular factor");
+    for (std::size_t i = 0; i < m; ++i) {
+      T v = alpha * b[i + j * ldb];
+      for (std::size_t p = 0; p < j; ++p) v -= b[i + p * ldb] * l[j + p * ldl];
+      b[i + j * ldb] = v / ljj;
+    }
+  }
+}
+
+template <class T>
+void trsm_left_lower_notrans(std::size_t m, std::size_t n, T alpha, const T* l,
+                             std::size_t ldl, T* x, std::size_t ldx) {
+  MPGEO_REQUIRE(ldl >= m || m == 0, "trsm: ldl too small");
+  MPGEO_REQUIRE(ldx >= m || m == 0, "trsm: ldx too small");
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      T v = alpha * x[i + j * ldx];
+      for (std::size_t p = 0; p < i; ++p) v -= l[i + p * ldl] * x[p + j * ldx];
+      const T lii = l[i + i * ldl];
+      MPGEO_REQUIRE(lii != T{0}, "trsm: singular triangular factor");
+      x[i + j * ldx] = v / lii;
+    }
+  }
+}
+
+template <class T>
+void trsm_left_lower_trans(std::size_t m, std::size_t n, T alpha, const T* l,
+                           std::size_t ldl, T* x, std::size_t ldx) {
+  MPGEO_REQUIRE(ldl >= m || m == 0, "trsm: ldl too small");
+  MPGEO_REQUIRE(ldx >= m || m == 0, "trsm: ldx too small");
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t ii = m; ii-- > 0;) {
+      T v = alpha * x[ii + j * ldx];
+      for (std::size_t p = ii + 1; p < m; ++p) {
+        v -= l[p + ii * ldl] * x[p + j * ldx];  // L^T(ii, p) = L(p, ii)
+      }
+      const T lii = l[ii + ii * ldl];
+      MPGEO_REQUIRE(lii != T{0}, "trsm: singular triangular factor");
+      x[ii + j * ldx] = v / lii;
+    }
+  }
+}
+
+template <class T>
+void syrk_lower_notrans(std::size_t n, std::size_t k, T alpha, const T* a,
+                        std::size_t lda, T beta, T* c, std::size_t ldc) {
+  MPGEO_REQUIRE(lda >= n || n == 0, "syrk: lda too small");
+  MPGEO_REQUIRE(ldc >= n || n == 0, "syrk: ldc too small");
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j; i < n; ++i) {
+      T acc{};
+      for (std::size_t p = 0; p < k; ++p) acc += a[i + p * lda] * a[j + p * lda];
+      c[i + j * ldc] = alpha * acc + beta * c[i + j * ldc];
+    }
+  }
+}
+
+template <class T>
+void gemm(char transa, char transb, std::size_t m, std::size_t n,
+          std::size_t k, T alpha, const T* a, std::size_t lda, const T* b,
+          std::size_t ldb, T beta, T* c, std::size_t ldc) {
+  MPGEO_REQUIRE(transa == 'N' || transa == 'T', "gemm: bad transa");
+  MPGEO_REQUIRE(transb == 'N' || transb == 'T', "gemm: bad transb");
+  MPGEO_REQUIRE(ldc >= m || m == 0, "gemm: ldc too small");
+  auto ea = [&](std::size_t i, std::size_t p) {
+    return transa == 'N' ? a[i + p * lda] : a[p + i * lda];
+  };
+  auto eb = [&](std::size_t p, std::size_t j) {
+    return transb == 'N' ? b[p + j * ldb] : b[j + p * ldb];
+  };
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      T acc{};
+      for (std::size_t p = 0; p < k; ++p) acc += ea(i, p) * eb(p, j);
+      c[i + j * ldc] = alpha * acc + beta * c[i + j * ldc];
+    }
+  }
+}
+
+template <class T>
+void gemv_notrans(std::size_t m, std::size_t n, T alpha, const T* a,
+                  std::size_t lda, const T* x, T beta, T* y) {
+  for (std::size_t i = 0; i < m; ++i) {
+    T acc{};
+    for (std::size_t j = 0; j < n; ++j) acc += a[i + j * lda] * x[j];
+    y[i] = alpha * acc + beta * y[i];
+  }
+}
+
+template <class T>
+T dot(std::size_t n, const T* x, const T* y) {
+  T acc{};
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+template <class T>
+double frobenius_norm(std::size_t m, std::size_t n, const T* a,
+                      std::size_t lda) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) {
+      const double v = static_cast<double>(a[i + j * lda]);
+      acc += v * v;
+    }
+  return std::sqrt(acc);
+}
+
+template <class T>
+void symmetrize_from_lower(std::size_t n, T* a, std::size_t lda) {
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j + 1; i < n; ++i) a[j + i * lda] = a[i + j * lda];
+}
+
+// Explicit instantiations for the two native precisions.
+#define MPGEO_INSTANTIATE(T)                                                   \
+  template int potrf_lower<T>(std::size_t, T*, std::size_t);                   \
+  template void trsm_right_lower_trans<T>(std::size_t, std::size_t, T,         \
+                                          const T*, std::size_t, T*,           \
+                                          std::size_t);                        \
+  template void trsm_left_lower_notrans<T>(std::size_t, std::size_t, T,        \
+                                           const T*, std::size_t, T*,          \
+                                           std::size_t);                       \
+  template void trsm_left_lower_trans<T>(std::size_t, std::size_t, T,          \
+                                         const T*, std::size_t, T*,            \
+                                         std::size_t);                         \
+  template void syrk_lower_notrans<T>(std::size_t, std::size_t, T, const T*,   \
+                                      std::size_t, T, T*, std::size_t);        \
+  template void gemm<T>(char, char, std::size_t, std::size_t, std::size_t, T,  \
+                        const T*, std::size_t, const T*, std::size_t, T, T*,   \
+                        std::size_t);                                          \
+  template void gemv_notrans<T>(std::size_t, std::size_t, T, const T*,         \
+                                std::size_t, const T*, T, T*);                 \
+  template T dot<T>(std::size_t, const T*, const T*);                          \
+  template double frobenius_norm<T>(std::size_t, std::size_t, const T*,        \
+                                    std::size_t);                              \
+  template void symmetrize_from_lower<T>(std::size_t, T*, std::size_t);
+
+MPGEO_INSTANTIATE(double)
+MPGEO_INSTANTIATE(float)
+#undef MPGEO_INSTANTIATE
+
+}  // namespace mpgeo

@@ -1,0 +1,68 @@
+// Typed dense BLAS-3 / LAPACK kernels (double and float instantiations).
+//
+// These are the "native precision" kernels: FP64 and FP32 execution paths of
+// the tile Cholesky, plus the oracles tests compare against. Mixed 16-bit
+// GEMM semantics live in precision/mixed_gemm.hpp; this header is classic
+// uniform-precision arithmetic.
+//
+// Naming follows BLAS conventions restricted to the cases tile Cholesky
+// needs: lower-triangular, right-side transposed solves, 'N'/'T' GEMM.
+#pragma once
+
+#include <cstddef>
+
+namespace mpgeo {
+
+/// In-place lower Cholesky of the leading n x n block (ld-strided, column
+/// major). Returns 0 on success, or 1-based index of the first non-positive
+/// pivot (matching LAPACK dpotrf's info).
+template <class T>
+int potrf_lower(std::size_t n, T* a, std::size_t lda);
+
+/// B := alpha * B * inv(L)^T where L is n x n lower triangular (non-unit) and
+/// B is m x n. The TRSM flavour used by the tile Cholesky panel update.
+template <class T>
+void trsm_right_lower_trans(std::size_t m, std::size_t n, T alpha, const T* l,
+                            std::size_t ldl, T* b, std::size_t ldb);
+
+/// X := alpha * inv(L) * X where L is m x m lower triangular and X is m x n.
+/// The forward-substitution flavour used to apply Sigma^{-1/2} to vectors.
+template <class T>
+void trsm_left_lower_notrans(std::size_t m, std::size_t n, T alpha, const T* l,
+                             std::size_t ldl, T* x, std::size_t ldx);
+
+/// X := alpha * inv(L)^T * X (backward substitution with the transposed
+/// lower factor) — the second half of a Cholesky solve L L^T x = b.
+template <class T>
+void trsm_left_lower_trans(std::size_t m, std::size_t n, T alpha, const T* l,
+                           std::size_t ldl, T* x, std::size_t ldx);
+
+/// Lower triangle of C := alpha * A * A^T + beta * C; A is n x k, C n x n.
+template <class T>
+void syrk_lower_notrans(std::size_t n, std::size_t k, T alpha, const T* a,
+                        std::size_t lda, T beta, T* c, std::size_t ldc);
+
+/// C := alpha * op(A) * op(B) + beta * C (column major, full storage).
+template <class T>
+void gemm(char transa, char transb, std::size_t m, std::size_t n,
+          std::size_t k, T alpha, const T* a, std::size_t lda, const T* b,
+          std::size_t ldb, T beta, T* c, std::size_t ldc);
+
+/// y := alpha * A * x + beta * y; A is m x n.
+template <class T>
+void gemv_notrans(std::size_t m, std::size_t n, T alpha, const T* a,
+                  std::size_t lda, const T* x, T beta, T* y);
+
+/// Dot product of length-n vectors.
+template <class T>
+T dot(std::size_t n, const T* x, const T* y);
+
+/// Frobenius norm of an m x n ld-strided buffer.
+template <class T>
+double frobenius_norm(std::size_t m, std::size_t n, const T* a, std::size_t lda);
+
+/// Mirror the strictly-lower triangle into the upper one (make symmetric).
+template <class T>
+void symmetrize_from_lower(std::size_t n, T* a, std::size_t lda);
+
+}  // namespace mpgeo

@@ -1,0 +1,305 @@
+#include "linalg/lowrank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/qr_svd.hpp"
+#include "precision/convert.hpp"
+
+namespace mpgeo {
+
+void LowRankFactor::to_dense(double* out, std::size_t ld) const {
+  MPGEO_REQUIRE(ld >= m || m == 0, "LowRankFactor::to_dense: ld too small");
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < rank; ++r) {
+        acc += u[i + r * m] * v[j + r * n];
+      }
+      out[i + j * ld] = acc;
+    }
+  }
+}
+
+void LowRankFactor::matvec(double alpha, std::span<const double> x,
+                           double beta, std::span<double> y) const {
+  MPGEO_REQUIRE(x.size() == n && y.size() == m,
+                "LowRankFactor::matvec: size mismatch");
+  // t = V^T x (rank), then y = alpha U t + beta y.
+  std::vector<double> t(rank, 0.0);
+  for (std::size_t r = 0; r < rank; ++r) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += v[j + r * n] * x[j];
+    t[r] = acc;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < rank; ++r) acc += u[i + r * m] * t[r];
+    y[i] = alpha * acc + beta * y[i];
+  }
+}
+
+void LowRankFactor::round_through_storage(Storage s) {
+  round_through(u, s);
+  round_through(v, s);
+}
+
+LowRankFactor compress_aca(const double* a, std::size_t m, std::size_t n,
+                           std::size_t ld, const AcaOptions& options) {
+  MPGEO_REQUIRE(m >= 1 && n >= 1, "compress_aca: empty matrix");
+  MPGEO_REQUIRE(ld >= m, "compress_aca: ld too small");
+  MPGEO_REQUIRE(options.tolerance > 0, "compress_aca: tolerance must be > 0");
+  const std::size_t max_rank =
+      options.max_rank ? std::min(options.max_rank, std::min(m, n))
+                       : std::min(m, n);
+
+  LowRankFactor f;
+  f.m = m;
+  f.n = n;
+
+  // Residual R = A - U V^T is never formed; rows/columns of R are computed
+  // on demand from A minus the accumulated rank-1 terms.
+  auto residual_row = [&](std::size_t i, std::vector<double>& row) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = a[i + j * ld];
+      for (std::size_t r = 0; r < f.rank; ++r) {
+        acc -= f.u[i + r * m] * f.v[j + r * n];
+      }
+      row[j] = acc;
+    }
+  };
+  auto residual_col = [&](std::size_t j, std::vector<double>& col) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = a[i + j * ld];
+      for (std::size_t r = 0; r < f.rank; ++r) {
+        acc -= f.u[i + r * m] * f.v[j + r * n];
+      }
+      col[i] = acc;
+    }
+  };
+
+  std::vector<bool> row_used(m, false);
+  std::vector<double> row(n), col(m);
+  double norm_est_sq = 0.0;  // incremental ||U V^T||_F^2 estimate
+  std::size_t pivot_row = 0;
+
+  while (f.rank < max_rank) {
+    // Row pivot: next unused row (partial pivoting walks rows greedily,
+    // restarting from the row of the largest entry of the previous column).
+    while (pivot_row < m && row_used[pivot_row]) ++pivot_row;
+    if (pivot_row >= m) break;
+    residual_row(pivot_row, row);
+    row_used[pivot_row] = true;
+
+    // Column pivot: largest residual entry in that row.
+    std::size_t jstar = 0;
+    double best = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (std::fabs(row[j]) > best) {
+        best = std::fabs(row[j]);
+        jstar = j;
+      }
+    }
+    if (best == 0.0) continue;  // row already fully captured; try the next
+
+    const double pivot = row[jstar];
+    residual_col(jstar, col);
+
+    // Rank-1 update: u = R(:, j*), v = R(i*, :) / pivot.
+    const std::size_t r = f.rank;
+    f.u.resize(m * (r + 1));
+    f.v.resize(n * (r + 1));
+    for (std::size_t i = 0; i < m; ++i) f.u[i + r * m] = col[i];
+    for (std::size_t j = 0; j < n; ++j) f.v[j + r * n] = row[j] / pivot;
+    f.rank = r + 1;
+
+    // Update the norm estimate and test convergence (Bebendorf's criterion:
+    // the new term's norm against the accumulated approximation norm).
+    double nu = 0.0, nv = 0.0;
+    for (std::size_t i = 0; i < m; ++i) nu += col[i] * col[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      nv += f.v[j + r * n] * f.v[j + r * n];
+    }
+    const double term_sq = nu * nv;
+    norm_est_sq += term_sq;  // cross terms ignored: standard ACA estimate
+    if (std::sqrt(term_sq) <=
+        options.tolerance * std::sqrt(std::max(norm_est_sq, 1e-300))) {
+      break;
+    }
+    // Next row pivot: the row of the largest entry of u (greedy walk).
+    std::size_t istar = 0;
+    double ubest = -1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!row_used[i] && std::fabs(col[i]) > ubest) {
+        ubest = std::fabs(col[i]);
+        istar = i;
+      }
+    }
+    if (ubest >= 0.0) pivot_row = istar;
+  }
+
+  if (f.rank == 0) {  // zero matrix: represent as explicit rank 1 of zeros
+    f.rank = 1;
+    f.u.assign(m, 0.0);
+    f.v.assign(n, 0.0);
+  }
+  return f;
+}
+
+namespace {
+
+/// Core of add/recompress: given stacked factors U (m x r), V (n x r)
+/// representing U V^T, orthogonalize and truncate.
+LowRankFactor truncate_stacked(std::size_t m, std::size_t n,
+                               std::vector<double> u, std::vector<double> v,
+                               std::size_t r, double tol,
+                               std::size_t max_rank) {
+  MPGEO_REQUIRE(tol > 0, "lowrank truncation: tolerance must be positive");
+  // Scale of the *operands* (before any cancellation): when a sum cancels
+  // to ~0, the relative cut against sigma_0 ~ 0 would keep pure roundoff
+  // noise; an absolute floor tied to the input magnitudes drops it.
+  double op_scale = 0.0;
+  for (std::size_t c = 0; c < r; ++c) {
+    double nu = 0.0, nv = 0.0;
+    for (std::size_t i = 0; i < m; ++i) nu += u[i + c * m] * u[i + c * m];
+    for (std::size_t j = 0; j < n; ++j) nv += v[j + c * n] * v[j + c * n];
+    op_scale = std::max(op_scale, std::sqrt(nu * nv));
+  }
+  // Thin QR requires rows >= cols; ranks above the dimensions cannot help,
+  // so clip by zero-padding is unnecessary: r <= min(m, n) is guaranteed by
+  // construction in this library (ACA and products never exceed it), but
+  // guard anyway.
+  MPGEO_REQUIRE(r >= 1 && r <= std::min(m, n),
+                "lowrank truncation: rank out of range");
+  std::vector<double> ru, rv;
+  householder_qr(m, r, u.data(), m, ru);  // u := Qu
+  householder_qr(n, r, v.data(), n, rv);  // v := Qv
+  // Core = Ru Rv^T (r x r).
+  std::vector<double> core(r * r, 0.0);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < r; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < r; ++p) {
+        acc += ru[i + p * r] * rv[j + p * r];  // Ru(i,p) * Rv(j,p)
+      }
+      core[i + j * r] = acc;
+    }
+  }
+  const SvdResult svd = jacobi_svd(r, r, core.data(), r);
+  std::size_t rank = 0;
+  const double cut =
+      std::max(tol * (svd.sigma.empty() ? 0.0 : svd.sigma[0]),
+               1e-14 * op_scale);
+  for (double sv : svd.sigma) {
+    if (sv > cut) ++rank;
+  }
+  if (rank == 0) rank = 1;  // keep an explicit (near-)zero representation
+  if (max_rank) rank = std::min(rank, max_rank);
+
+  LowRankFactor out;
+  out.m = m;
+  out.n = n;
+  out.rank = rank;
+  out.u.assign(m * rank, 0.0);
+  out.v.assign(n * rank, 0.0);
+  // U_out = Qu * (Uc * Sigma), V_out = Qv * Vc.
+  for (std::size_t c = 0; c < rank; ++c) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < r; ++p) {
+        acc += u[i + p * m] * svd.u[p + c * r];
+      }
+      out.u[i + c * m] = acc * svd.sigma[c];
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < r; ++p) {
+        acc += v[j + p * n] * svd.v[p + c * r];
+      }
+      out.v[j + c * n] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LowRankFactor lowrank_add(const LowRankFactor& a, double beta,
+                          const LowRankFactor& b, double tol,
+                          std::size_t max_rank) {
+  MPGEO_REQUIRE(a.m == b.m && a.n == b.n, "lowrank_add: shape mismatch");
+  std::size_t r = a.rank + b.rank;
+  std::vector<double> u(a.m * r), v(a.n * r);
+  // [Ua | Ub], [Va | beta Vb].
+  std::copy(a.u.begin(), a.u.end(), u.begin());
+  std::copy(b.u.begin(), b.u.end(), u.begin() + a.m * a.rank);
+  std::copy(a.v.begin(), a.v.end(), v.begin());
+  for (std::size_t idx = 0; idx < b.v.size(); ++idx) {
+    v[a.n * a.rank + idx] = beta * b.v[idx];
+  }
+  // Stacked rank may exceed min(m, n); cap by dropping trailing columns is
+  // wrong — instead pad handling: clip r via pre-truncation when needed.
+  const std::size_t cap = std::min(a.m, a.n);
+  if (r > cap) {
+    // Orthogonalization cannot use thin QR beyond the dimension; fold the
+    // excess by materializing through the exact product of the first `cap`
+    // columns is lossy. In this library ranks are far below tile sizes, so
+    // simply truncate the stacked basis via an SVD of the (dense) product.
+    std::vector<double> dense(a.m * a.n, 0.0);
+    LowRankFactor stacked;
+    stacked.m = a.m;
+    stacked.n = a.n;
+    stacked.rank = r;
+    stacked.u = std::move(u);
+    stacked.v = std::move(v);
+    stacked.to_dense(dense.data(), a.m);
+    const SvdResult svd = jacobi_svd(a.m, a.n, dense.data(), a.m);
+    std::size_t rank = truncation_rank(svd.sigma, tol);
+    if (rank == 0) rank = 1;
+    if (max_rank) rank = std::min(rank, max_rank);
+    rank = std::min(rank, cap);
+    LowRankFactor out;
+    out.m = a.m;
+    out.n = a.n;
+    out.rank = rank;
+    out.u.resize(a.m * rank);
+    out.v.resize(a.n * rank);
+    for (std::size_t c = 0; c < rank; ++c) {
+      for (std::size_t i = 0; i < a.m; ++i) {
+        out.u[i + c * a.m] = svd.u[i + c * a.m] * svd.sigma[c];
+      }
+      for (std::size_t j = 0; j < a.n; ++j) {
+        out.v[j + c * a.n] = svd.v[j + c * a.n];
+      }
+    }
+    return out;
+  }
+  return truncate_stacked(a.m, a.n, std::move(u), std::move(v), r, tol,
+                          max_rank);
+}
+
+LowRankFactor lowrank_recompress(const LowRankFactor& a, double tol,
+                                 std::size_t max_rank) {
+  return truncate_stacked(a.m, a.n, a.u, a.v, a.rank, tol, max_rank);
+}
+
+double lowrank_error(const double* a, std::size_t m, std::size_t n,
+                     std::size_t ld, const LowRankFactor& f) {
+  MPGEO_REQUIRE(f.m == m && f.n == n, "lowrank_error: shape mismatch");
+  double num = 0.0, den = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double approx = 0.0;
+      for (std::size_t r = 0; r < f.rank; ++r) {
+        approx += f.u[i + r * m] * f.v[j + r * n];
+      }
+      const double d = a[i + j * ld] - approx;
+      num += d * d;
+      den += a[i + j * ld] * a[i + j * ld];
+    }
+  }
+  return den > 0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+}  // namespace mpgeo

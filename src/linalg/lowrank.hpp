@@ -1,0 +1,78 @@
+// Low-rank tile compression via Adaptive Cross Approximation (ACA).
+//
+// The paper's conclusion names the combination of mixed precision with tile
+// low-rank (TLR) compression as the next step (refs [16][17]: HiCMA-style
+// Cholesky). This module provides the building block: off-diagonal
+// covariance tiles are numerically low-rank, and partially pivoted ACA
+// extracts A ~= U V^T to a requested tolerance by sampling one row and one
+// column per rank-1 step — no full SVD needed.
+//
+// core/tlr_matrix.hpp combines this with the precision machinery: U/V
+// factors stored in the storage format the Higham–Mary rule assigns the
+// tile, compounding the two compression mechanisms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "precision/precision.hpp"
+
+namespace mpgeo {
+
+/// A rank-r factorization A ~= U V^T with U (m x r), V (n x r), col-major.
+struct LowRankFactor {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::size_t rank = 0;
+  std::vector<double> u;  ///< m x rank
+  std::vector<double> v;  ///< n x rank
+
+  /// Bytes at a given storage width (both factors).
+  std::size_t bytes(Storage s) const {
+    return (m + n) * rank * bytes_per_element(s);
+  }
+
+  /// Materialize U V^T into `out` (m x n, ld >= m).
+  void to_dense(double* out, std::size_t ld) const;
+
+  /// y := alpha * (U V^T) x + beta * y.
+  void matvec(double alpha, std::span<const double> x, double beta,
+              std::span<double> y) const;
+
+  /// Round both factors through a storage format (models storing the
+  /// compressed tile at reduced precision).
+  void round_through_storage(Storage s);
+};
+
+struct AcaOptions {
+  /// Relative Frobenius tolerance: stop when the rank-1 update's norm falls
+  /// below tol * ||A||_F (estimated incrementally).
+  double tolerance = 1e-8;
+  /// Hard cap; 0 means min(m, n).
+  std::size_t max_rank = 0;
+};
+
+/// Partially pivoted ACA of a dense column-major m x n buffer.
+/// Always returns at least rank 1 for a nonzero matrix; exact (full-rank)
+/// factorization if the tolerance is never met.
+LowRankFactor compress_aca(const double* a, std::size_t m, std::size_t n,
+                           std::size_t ld, const AcaOptions& options = {});
+
+/// ||A - U V^T||_F / ||A||_F for diagnostics/tests.
+double lowrank_error(const double* a, std::size_t m, std::size_t n,
+                     std::size_t ld, const LowRankFactor& f);
+
+/// Truncated sum  trunc(A + beta * B)  of two low-rank factors with the
+/// same shape: concatenate factors, re-orthogonalize with thin QR, SVD the
+/// small core, cut at `tol` (relative to the largest singular value).
+/// This is the recompression step of every TLR trailing update.
+LowRankFactor lowrank_add(const LowRankFactor& a, double beta,
+                          const LowRankFactor& b, double tol,
+                          std::size_t max_rank = 0);
+
+/// Recompress a single factor to tolerance `tol` (rank can only shrink).
+LowRankFactor lowrank_recompress(const LowRankFactor& a, double tol,
+                                 std::size_t max_rank = 0);
+
+}  // namespace mpgeo

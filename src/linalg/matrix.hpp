@@ -1,0 +1,48 @@
+// Dense column-major matrix, the storage container used throughout the
+// library for full (untiled) matrices: reference factorizations, covariance
+// assembly, and test oracles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+
+template <class T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// Leading dimension; data is packed, so ld == rows.
+  std::size_t ld() const { return rows_; }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    MPGEO_ASSERT(i < rows_ && j < cols_);
+    return data_[i + j * rows_];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    MPGEO_ASSERT(i < rows_ && j < cols_);
+    return data_[i + j * rows_];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::span<T> span() { return data_; }
+  std::span<const T> span() const { return data_; }
+
+  bool empty() const { return data_.empty(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace mpgeo

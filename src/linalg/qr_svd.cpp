@@ -1,0 +1,199 @@
+#include "linalg/qr_svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+
+void householder_qr(std::size_t m, std::size_t n, double* a, std::size_t lda,
+                    std::vector<double>& r) {
+  MPGEO_REQUIRE(m >= n, "householder_qr: need m >= n (thin QR)");
+  MPGEO_REQUIRE(lda >= m || m == 0, "householder_qr: lda too small");
+  r.assign(n * n, 0.0);
+  if (n == 0) return;
+
+  // Householder vectors stored below the diagonal of `a` during the sweep;
+  // tau[k] the reflector coefficients.
+  std::vector<double> tau(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Compute the reflector for column k.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += a[i + k * lda] * a[i + k * lda];
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      tau[k] = 0.0;
+      continue;
+    }
+    const double alpha = a[k + k * lda];
+    const double beta = (alpha >= 0 ? -norm : norm);
+    tau[k] = (beta - alpha) / beta;
+    const double scale = 1.0 / (alpha - beta);
+    for (std::size_t i = k + 1; i < m; ++i) a[i + k * lda] *= scale;
+    a[k + k * lda] = beta;
+    // Apply (I - tau v v^T) to the trailing columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double dot = a[k + j * lda];
+      for (std::size_t i = k + 1; i < m; ++i) {
+        dot += a[i + k * lda] * a[i + j * lda];
+      }
+      dot *= tau[k];
+      a[k + j * lda] -= dot;
+      for (std::size_t i = k + 1; i < m; ++i) {
+        a[i + j * lda] -= dot * a[i + k * lda];
+      }
+    }
+  }
+  // Extract R.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i <= j; ++i) r[i + j * n] = a[i + j * lda];
+  }
+  // Form thin Q in place: apply reflectors to the identity, back to front.
+  // Zero the strict upper part first (it held R).
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) a[i + j * lda] = 0.0;
+  }
+  // Copy out the Householder vectors, then rebuild columns of Q.
+  std::vector<double> v(m * n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    v[k + k * m] = 1.0;
+    for (std::size_t i = k + 1; i < m; ++i) v[i + k * m] = a[i + k * lda];
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) a[i + j * lda] = (i == j) ? 1.0 : 0.0;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = n; k-- > 0;) {
+      if (tau[k] == 0.0) continue;
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) {
+        dot += v[i + k * m] * a[i + j * lda];
+      }
+      dot *= tau[k];
+      for (std::size_t i = k; i < m; ++i) {
+        a[i + j * lda] -= dot * v[i + k * m];
+      }
+    }
+  }
+}
+
+SvdResult jacobi_svd(std::size_t m, std::size_t n, const double* a,
+                     std::size_t lda) {
+  MPGEO_REQUIRE(m >= 1 && n >= 1, "jacobi_svd: empty matrix");
+  MPGEO_REQUIRE(lda >= m, "jacobi_svd: lda too small");
+
+  if (m < n) {
+    // Wide: factor the transpose and swap U/V.
+    std::vector<double> at(n * m);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = 0; i < m; ++i) at[j + i * n] = a[i + j * lda];
+    }
+    SvdResult t = jacobi_svd(n, m, at.data(), n);
+    SvdResult out;
+    out.m = m;
+    out.n = n;
+    out.u = std::move(t.v);
+    out.sigma = std::move(t.sigma);
+    out.v = std::move(t.u);
+    return out;
+  }
+
+  // One-sided Jacobi: rotate columns of W = A until pairwise orthogonal;
+  // then sigma_j = ||w_j||, u_j = w_j / sigma_j, V accumulates rotations.
+  std::vector<double> w(m * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) w[i + j * m] = a[i + j * lda];
+  }
+  std::vector<double> vmat(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) vmat[j + j * n] = 1.0;
+
+  const double eps = 1e-15;
+  const int max_sweeps = 60;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double app = 0, aqq = 0, apq = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w[i + p * m], wq = w[i + q * m];
+          app += wp * wp;
+          aqq += wq * wq;
+          apq += wp * wq;
+        }
+        if (std::fabs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        converged = false;
+        // Jacobi rotation zeroing the (p, q) Gram entry.
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w[i + p * m], wq = w[i + q * m];
+          w[i + p * m] = c * wp - s * wq;
+          w[i + q * m] = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = vmat[i + p * n], vq = vmat[i + q * n];
+          vmat[i + p * n] = c * vp - s * vq;
+          vmat[i + q * n] = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  SvdResult out;
+  out.m = m;
+  out.n = n;
+  out.sigma.resize(n);
+  out.u.assign(m * n, 0.0);
+  out.v = std::move(vmat);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += w[i + j * m] * w[i + j * m];
+    norm = std::sqrt(norm);
+    out.sigma[j] = norm;
+    if (norm > 0) {
+      for (std::size_t i = 0; i < m; ++i) out.u[i + j * m] = w[i + j * m] / norm;
+    }
+  }
+  // Sort descending by sigma (columns of U and V permute together).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return out.sigma[x] > out.sigma[y];
+  });
+  SvdResult sorted;
+  sorted.m = m;
+  sorted.n = n;
+  sorted.sigma.resize(n);
+  sorted.u.resize(m * n);
+  sorted.v.resize(n * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted.sigma[j] = out.sigma[order[j]];
+    for (std::size_t i = 0; i < m; ++i) {
+      sorted.u[i + j * m] = out.u[i + order[j] * m];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted.v[i + j * n] = out.v[i + order[j] * n];
+    }
+  }
+  return sorted;
+}
+
+std::size_t truncation_rank(const std::vector<double>& sigma, double tol) {
+  MPGEO_REQUIRE(tol >= 0, "truncation_rank: negative tolerance");
+  if (sigma.empty() || sigma[0] == 0.0) return 0;
+  std::size_t r = 0;
+  for (double s : sigma) {
+    if (s > tol * sigma[0]) ++r;
+  }
+  return r;
+}
+
+}  // namespace mpgeo

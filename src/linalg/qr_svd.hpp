@@ -1,0 +1,39 @@
+// Small-matrix orthogonal factorizations, built from scratch:
+//   * Householder QR (thin Q) — the workhorse of low-rank recompression;
+//   * one-sided Jacobi SVD — accurate for the small r x r cores that appear
+//     when truncating sums of low-rank factors.
+//
+// These back the TLR arithmetic (linalg/lowrank.hpp, core/tlr_cholesky.hpp).
+// Dimensions here are tile ranks (tens), so O(n^3) with good constants and
+// high accuracy beats any blocking cleverness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mpgeo {
+
+/// Thin QR of a column-major m x n matrix (m >= n required):
+/// A = Q R with Q m x n orthonormal and R n x n upper triangular.
+/// On return `a` holds Q; `r` is resized to n x n.
+void householder_qr(std::size_t m, std::size_t n, double* a, std::size_t lda,
+                    std::vector<double>& r);
+
+struct SvdResult {
+  std::size_t m = 0, n = 0;
+  std::vector<double> u;       ///< m x min(m,n), column-major
+  std::vector<double> sigma;   ///< min(m,n) singular values, descending
+  std::vector<double> v;       ///< n x min(m,n), column-major (not V^T)
+};
+
+/// One-sided Jacobi SVD of a column-major m x n matrix (any shape; the
+/// wide case is handled by transposing internally). Accuracy ~1e-14 on the
+/// small, well-scaled cores this library feeds it.
+SvdResult jacobi_svd(std::size_t m, std::size_t n, const double* a,
+                     std::size_t lda);
+
+/// Numerical rank of a singular spectrum at relative tolerance `tol`
+/// (count of sigma_i > tol * sigma_0).
+std::size_t truncation_rank(const std::vector<double>& sigma, double tol);
+
+}  // namespace mpgeo

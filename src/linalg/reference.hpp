@@ -1,0 +1,33 @@
+// Full-matrix FP64 reference algorithms: the oracles every mixed-precision
+// path is validated against, and the exact-arithmetic branch of the MLE.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mpgeo {
+
+/// In-place lower Cholesky; throws mpgeo::Error if the matrix is not SPD.
+/// The strictly-upper triangle is zeroed.
+void cholesky_lower(Matrix<double>& a);
+
+/// log(det(A)) from its lower Cholesky factor: 2 * sum log L_ii.
+double logdet_from_cholesky(const Matrix<double>& l);
+
+/// Solve L y = b (forward substitution). b is overwritten with y.
+void forward_solve(const Matrix<double>& l, std::vector<double>& b);
+
+/// z^T A^{-1} z given the lower Cholesky factor of A: ||L^{-1} z||^2.
+double quadratic_form(const Matrix<double>& l, const std::vector<double>& z);
+
+/// Relative factorization residual ||A - L L^T||_F / ||A||_F.
+double cholesky_residual(const Matrix<double>& a, const Matrix<double>& l);
+
+/// Reconstruct L * L^T (symmetric) from a lower-triangular factor.
+Matrix<double> multiply_llt(const Matrix<double>& l);
+
+/// Max |a - b| over all entries; matrices must have identical shapes.
+double max_abs_diff(const Matrix<double>& a, const Matrix<double>& b);
+
+}  // namespace mpgeo

@@ -1,0 +1,73 @@
+#include "linalg/tile_kernels.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "precision/mixed_gemm.hpp"
+
+namespace mpgeo {
+
+int potrf_tile(AnyTile& ckk) {
+  MPGEO_REQUIRE(ckk.rows() == ckk.cols(), "potrf_tile: tile must be square");
+  const std::size_t n = ckk.rows();
+  std::vector<double> a = ckk.to_double();
+  const int info = potrf_lower(n, a.data(), n);
+  if (info != 0) return info;
+  // Zero the strictly-upper part so downstream consumers see a clean factor.
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < j; ++i) a[i + j * n] = 0.0;
+  ckk.from_double(a);
+  return 0;
+}
+
+void trsm_tile(Precision prec, const AnyTile& ckk, AnyTile& cmk) {
+  MPGEO_REQUIRE(prec == Precision::FP64 || prec == Precision::FP32,
+                "trsm_tile: GPUs only provide FP64/FP32 TRSM");
+  MPGEO_REQUIRE(ckk.rows() == ckk.cols(), "trsm_tile: Ckk must be square");
+  MPGEO_REQUIRE(cmk.cols() == ckk.rows(), "trsm_tile: shape mismatch");
+  const std::size_t m = cmk.rows();
+  const std::size_t n = cmk.cols();
+  std::vector<double> l = ckk.to_double();
+  std::vector<double> b = cmk.to_double();
+  if (prec == Precision::FP64) {
+    trsm_right_lower_trans<double>(m, n, 1.0, l.data(), n, b.data(), m);
+  } else {
+    std::vector<float> lf(l.size()), bf(b.size());
+    for (std::size_t i = 0; i < l.size(); ++i) lf[i] = static_cast<float>(l[i]);
+    for (std::size_t i = 0; i < b.size(); ++i) bf[i] = static_cast<float>(b[i]);
+    trsm_right_lower_trans<float>(m, n, 1.0f, lf.data(), n, bf.data(), m);
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = bf[i];
+  }
+  cmk.from_double(b);
+}
+
+void syrk_tile(const AnyTile& cmk, AnyTile& cmm) {
+  MPGEO_REQUIRE(cmm.rows() == cmm.cols(), "syrk_tile: Cmm must be square");
+  MPGEO_REQUIRE(cmk.rows() == cmm.rows(), "syrk_tile: shape mismatch");
+  const std::size_t n = cmm.rows();
+  const std::size_t k = cmk.cols();
+  std::vector<double> a = cmk.to_double();
+  std::vector<double> c = cmm.to_double();
+  syrk_lower_notrans<double>(n, k, -1.0, a.data(), n, 1.0, c.data(), n);
+  symmetrize_from_lower<double>(n, c.data(), n);
+  cmm.from_double(c);
+}
+
+void gemm_tile(Precision prec, const AnyTile& cmk, const AnyTile& cnk,
+               AnyTile& cmn) {
+  MPGEO_REQUIRE(cmk.cols() == cnk.cols(), "gemm_tile: inner dim mismatch");
+  MPGEO_REQUIRE(cmn.rows() == cmk.rows() && cmn.cols() == cnk.rows(),
+                "gemm_tile: output shape mismatch");
+  const std::size_t m = cmn.rows();
+  const std::size_t n = cmn.cols();
+  const std::size_t k = cmk.cols();
+  std::vector<double> a = cmk.to_double();
+  std::vector<double> b = cnk.to_double();
+  std::vector<double> c = cmn.to_double();
+  mixed_gemm(prec, 'N', 'T', m, n, k, -1.0, a.data(), m, b.data(), n, 1.0,
+             c.data(), m);
+  cmn.from_double(c);
+}
+
+}  // namespace mpgeo

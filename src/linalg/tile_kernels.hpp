@@ -1,0 +1,35 @@
+// The four numerical kernels of the tile Cholesky (Algorithm 1 of the paper)
+// operating on precision-erased tiles with explicit compute precision.
+//
+// Semantics (lower Cholesky, trailing-update form):
+//   potrf_tile:  Ckk := chol(Ckk)                       (FP64 only — diagonal)
+//   trsm_tile :  Cmk := Cmk * Ckk^{-T}                  (FP64 or FP32;
+//                Nvidia GPUs have no 16-bit TRSM, matching the paper)
+//   syrk_tile :  Cmm := Cmm - Cmk * Cmk^T               (FP64 only — diagonal)
+//   gemm_tile :  Cmn := Cmn - Cmk * Cnk^T               (any Precision)
+//
+// Each kernel widens its operands to double, applies the requested format's
+// rounding semantics, and writes the result back through the output tile's
+// storage format.
+#pragma once
+
+#include "linalg/anytile.hpp"
+#include "precision/precision.hpp"
+
+namespace mpgeo {
+
+/// In-place Cholesky of a diagonal tile. Returns LAPACK-style info
+/// (0 = success, j > 0 = leading minor j not positive definite).
+int potrf_tile(AnyTile& ckk);
+
+/// Panel solve. `prec` must be FP64 or FP32 (throws otherwise).
+void trsm_tile(Precision prec, const AnyTile& ckk, AnyTile& cmk);
+
+/// Diagonal trailing update, FP64 (the paper's DSYRK).
+void syrk_tile(const AnyTile& cmk, AnyTile& cmm);
+
+/// Off-diagonal trailing update at any supported precision.
+void gemm_tile(Precision prec, const AnyTile& cmk, const AnyTile& cnk,
+               AnyTile& cmn);
+
+}  // namespace mpgeo

@@ -1,0 +1,217 @@
+#include "optim/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+namespace {
+
+void check_box(std::span<const double> x0, std::span<const double> lo,
+               std::span<const double> hi) {
+  MPGEO_REQUIRE(!x0.empty(), "optimize: empty start point");
+  MPGEO_REQUIRE(x0.size() == lo.size() && x0.size() == hi.size(),
+                "optimize: bound arity mismatch");
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    MPGEO_REQUIRE(lo[i] < hi[i], "optimize: lower bound must be below upper");
+    MPGEO_REQUIRE(x0[i] >= lo[i] && x0[i] <= hi[i],
+                  "optimize: start point outside the box");
+  }
+}
+
+std::vector<double> project(std::vector<double> x, std::span<const double> lo,
+                            std::span<const double> hi) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::clamp(x[i], lo[i], hi[i]);
+  }
+  return x;
+}
+
+}  // namespace
+
+OptimResult minimize_nelder_mead(const Objective& f,
+                                 std::span<const double> x0,
+                                 std::span<const double> lo,
+                                 std::span<const double> hi,
+                                 const OptimOptions& options) {
+  check_box(x0, lo, hi);
+  const std::size_t n = x0.size();
+
+  // Adaptive coefficients (Gao & Han 2012): better behaved for n > 2.
+  const double alpha = 1.0;
+  const double beta = 1.0 + 2.0 / double(n);
+  const double gamma = 0.75 - 0.5 / double(n);
+  const double delta = 1.0 - 1.0 / double(n);
+
+  int evals = 0;
+  auto eval = [&](const std::vector<double>& x) {
+    ++evals;
+    return f(x);
+  };
+
+  // Initial simplex: start point plus a step along each coordinate, kept
+  // inside the box (step flips direction if it would cross the bound).
+  std::vector<std::vector<double>> pts(n + 1, std::vector<double>(x0.begin(), x0.end()));
+  for (std::size_t i = 0; i < n; ++i) {
+    double step = options.initial_step * (hi[i] - lo[i]);
+    if (pts[i + 1][i] + step > hi[i]) step = -step;
+    pts[i + 1][i] = std::clamp(pts[i + 1][i] + step, lo[i], hi[i]);
+  }
+  std::vector<double> fv(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) fv[i] = eval(pts[i]);
+
+  std::vector<std::size_t> order(n + 1);
+  OptimResult result;
+  while (evals < options.max_evaluations) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+    const std::size_t best = order[0], worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence: simplex diameter and value spread both small.
+    double diam = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      for (std::size_t d = 0; d < n; ++d) {
+        diam = std::max(diam, std::fabs(pts[order[i]][d] - pts[best][d]));
+      }
+    }
+    const double fspread = std::fabs(fv[worst] - fv[best]);
+    if (diam < options.tolerance &&
+        fspread < options.tolerance * (1.0 + std::fabs(fv[best]))) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += pts[i][d];
+    }
+    for (auto& c : centroid) c /= double(n);
+
+    auto along = [&](double t) {
+      std::vector<double> x(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        x[d] = centroid[d] + t * (centroid[d] - pts[worst][d]);
+      }
+      return project(std::move(x), lo, hi);
+    };
+
+    const std::vector<double> xr = along(alpha);
+    const double fr = eval(xr);
+    if (fr < fv[order[0]]) {
+      const std::vector<double> xe = along(beta);
+      const double fe = eval(xe);
+      if (fe < fr) {
+        pts[worst] = xe;
+        fv[worst] = fe;
+      } else {
+        pts[worst] = xr;
+        fv[worst] = fr;
+      }
+    } else if (fr < fv[second_worst]) {
+      pts[worst] = xr;
+      fv[worst] = fr;
+    } else {
+      const bool outside = fr < fv[worst];
+      const std::vector<double> xc = along(outside ? gamma : -gamma);
+      const double fc = eval(xc);
+      if (fc < std::min(fr, fv[worst])) {
+        pts[worst] = xc;
+        fv[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < n; ++d) {
+            pts[i][d] = pts[best][d] + delta * (pts[i][d] - pts[best][d]);
+          }
+          pts[i] = project(std::move(pts[i]), lo, hi);
+          fv[i] = eval(pts[i]);
+        }
+      }
+    }
+  }
+
+  const std::size_t best =
+      std::distance(fv.begin(), std::min_element(fv.begin(), fv.end()));
+  result.x = pts[best];
+  result.fx = fv[best];
+  result.evaluations = evals;
+  return result;
+}
+
+OptimResult minimize_pattern_search(const Objective& f,
+                                    std::span<const double> x0,
+                                    std::span<const double> lo,
+                                    std::span<const double> hi,
+                                    const OptimOptions& options) {
+  check_box(x0, lo, hi);
+  const std::size_t n = x0.size();
+  std::vector<double> x(x0.begin(), x0.end());
+  int evals = 1;
+  double fx = f(x);
+  std::vector<double> step(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    step[i] = options.initial_step * (hi[i] - lo[i]);
+  }
+
+  OptimResult result;
+  while (evals < options.max_evaluations) {
+    bool improved = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const double dir : {+1.0, -1.0}) {
+        std::vector<double> trial = x;
+        trial[i] = std::clamp(trial[i] + dir * step[i], lo[i], hi[i]);
+        if (trial[i] == x[i]) continue;
+        ++evals;
+        const double ft = f(trial);
+        if (ft < fx) {
+          x = std::move(trial);
+          fx = ft;
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) {
+      double max_step = 0.0;
+      for (auto& s : step) {
+        s *= 0.5;
+        max_step = std::max(max_step, s);
+      }
+      if (max_step < options.tolerance) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  result.x = std::move(x);
+  result.fx = fx;
+  result.evaluations = evals;
+  return result;
+}
+
+OptimResult minimize(const Objective& f, std::span<const double> x0,
+                     std::span<const double> lo, std::span<const double> hi,
+                     const OptimOptions& options) {
+  OptimResult nm = minimize_nelder_mead(f, x0, lo, hi, options);
+  OptimOptions polish = options;
+  polish.initial_step = 0.02;
+  polish.max_evaluations =
+      std::max(64, options.max_evaluations - nm.evaluations);
+  OptimResult ps = minimize_pattern_search(f, nm.x, lo, hi, polish);
+  ps.evaluations += nm.evaluations;
+  ps.converged = ps.converged || nm.converged;
+  if (nm.fx < ps.fx) {
+    ps.x = nm.x;
+    ps.fx = nm.fx;
+  }
+  return ps;
+}
+
+}  // namespace mpgeo

@@ -1,0 +1,80 @@
+#include "precision/convert.hpp"
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+
+namespace {
+template <class Src, class Dst>
+void convert_impl(std::span<const Src> src, std::span<Dst> dst) {
+  MPGEO_REQUIRE(src.size() == dst.size(), "convert: size mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = Dst(static_cast<float>(src[i]));
+  }
+}
+}  // namespace
+
+void convert(std::span<const double> src, std::span<float> dst) {
+  MPGEO_REQUIRE(src.size() == dst.size(), "convert: size mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = static_cast<float>(src[i]);
+}
+
+void convert(std::span<const double> src, std::span<float16> dst) {
+  convert_impl(src, dst);
+}
+
+void convert(std::span<const float> src, std::span<double> dst) {
+  MPGEO_REQUIRE(src.size() == dst.size(), "convert: size mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+}
+
+void convert(std::span<const float> src, std::span<float16> dst) {
+  convert_impl(src, dst);
+}
+
+void convert(std::span<const float16> src, std::span<double> dst) {
+  MPGEO_REQUIRE(src.size() == dst.size(), "convert: size mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = static_cast<double>(src[i]);
+}
+
+void convert(std::span<const float16> src, std::span<float> dst) {
+  MPGEO_REQUIRE(src.size() == dst.size(), "convert: size mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = static_cast<float>(src[i]);
+}
+
+void round_through(std::span<double> buf, Storage s) {
+  switch (s) {
+    case Storage::FP64:
+      return;
+    case Storage::FP32:
+      for (auto& x : buf) x = static_cast<float>(x);
+      return;
+    case Storage::FP16:
+      for (auto& x : buf) x = through_half(x);
+      return;
+  }
+  MPGEO_ASSERT(false);
+}
+
+void round_inputs(std::span<double> buf, Precision p) {
+  switch (p) {
+    case Precision::FP64:
+      return;
+    case Precision::FP32:
+      for (auto& x : buf) x = static_cast<float>(x);
+      return;
+    case Precision::TF32:
+      for (auto& x : buf) x = round_to_tf32(static_cast<float>(x));
+      return;
+    case Precision::BF16_32:
+      for (auto& x : buf) x = static_cast<float>(bfloat16(static_cast<float>(x)));
+      return;
+    case Precision::FP16_32:
+    case Precision::FP16:
+      for (auto& x : buf) x = through_half(x);
+      return;
+  }
+  MPGEO_ASSERT(false);
+}
+
+}  // namespace mpgeo

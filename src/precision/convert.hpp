@@ -1,0 +1,35 @@
+// Buffer conversions between the three storage formats.
+//
+// Conversion is the runtime cost STC amortizes: with sender-side conversion a
+// TRSM converts its tile once instead of every consumer GEMM converting it
+// again (paper Section VI). These routines are the numeric counterpart; the
+// simulator charges time for them via CostModel::conversion_time.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "precision/float16.hpp"
+#include "precision/precision.hpp"
+
+namespace mpgeo {
+
+void convert(std::span<const double> src, std::span<float> dst);
+void convert(std::span<const double> src, std::span<float16> dst);
+void convert(std::span<const float> src, std::span<double> dst);
+void convert(std::span<const float> src, std::span<float16> dst);
+void convert(std::span<const float16> src, std::span<double> dst);
+void convert(std::span<const float16> src, std::span<float> dst);
+
+/// Round every element of a double buffer through storage format `s`
+/// (identity for FP64). Models what a tile's values become after being
+/// generated in FP64 and placed in lower-precision storage.
+void round_through(std::span<double> buf, Storage s);
+
+/// Round a double buffer through the *input* format of compute precision `p`
+/// (fp16 for FP16/FP16_32, bf16 for BF16_32, tf32 mantissa for TF32, fp32 for
+/// FP32, identity for FP64). Used to emulate tensor-core input rounding.
+void round_inputs(std::span<double> buf, Precision p);
+
+}  // namespace mpgeo

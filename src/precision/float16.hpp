@@ -1,0 +1,78 @@
+// Software IEEE 754 binary16 ("half") and bfloat16 types.
+//
+// The hardware the paper targets (V100/A100/H100 tensor cores) stores tile
+// data in FP16; we reproduce those numerics on CPUs by emulating the formats
+// bit-exactly: round-to-nearest-even on conversion from float, full subnormal
+// support, Inf/NaN propagation. The types are trivially copyable 16-bit
+// values, so buffers of them have exactly the memory footprint (and hence the
+// simulated transfer cost) of their GPU counterparts.
+#pragma once
+
+#include <cstdint>
+
+namespace mpgeo {
+
+/// Convert an IEEE binary32 value to binary16 bits with round-to-nearest-even.
+std::uint16_t float_to_half_bits(float f);
+
+/// Convert binary16 bits to the exactly-representable binary32 value.
+float half_bits_to_float(std::uint16_t h);
+
+/// IEEE 754 binary16. 1 sign, 5 exponent, 10 mantissa bits.
+class float16 {
+ public:
+  float16() = default;
+  explicit float16(float f) : bits_(float_to_half_bits(f)) {}
+  explicit float16(double d) : float16(static_cast<float>(d)) {}
+
+  explicit operator float() const { return half_bits_to_float(bits_); }
+  explicit operator double() const { return half_bits_to_float(bits_); }
+
+  static float16 from_bits(std::uint16_t b) {
+    float16 h;
+    h.bits_ = b;
+    return h;
+  }
+  std::uint16_t bits() const { return bits_; }
+
+  friend bool operator==(float16 a, float16 b) {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// bfloat16: 1 sign, 8 exponent, 7 mantissa bits (truncated fp32 with RNE).
+class bfloat16 {
+ public:
+  bfloat16() = default;
+  explicit bfloat16(float f);
+  explicit bfloat16(double d) : bfloat16(static_cast<float>(d)) {}
+
+  explicit operator float() const;
+  explicit operator double() const { return static_cast<float>(*this); }
+
+  static bfloat16 from_bits(std::uint16_t b) {
+    bfloat16 h;
+    h.bits_ = b;
+    return h;
+  }
+  std::uint16_t bits() const { return bits_; }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// Round a binary32 value to TF32 precision (10 mantissa bits, fp32 exponent
+/// range) with round-to-nearest-even, returned as binary32. This mirrors what
+/// Ampere/Hopper tensor cores do to GEMM inputs in TF32 mode.
+float round_to_tf32(float f);
+
+/// Round a double to fp32 then to fp16 and back — the value a tile assumes
+/// when staged through half-precision storage.
+inline double through_half(double d) {
+  return static_cast<double>(float16(static_cast<float>(d)));
+}
+
+}  // namespace mpgeo

@@ -1,0 +1,133 @@
+#include "precision/mixed_gemm.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "precision/convert.hpp"
+#include "precision/float16.hpp"
+
+namespace mpgeo {
+namespace {
+
+// Pack op(A)^T (k x m, column i holds the k inputs of C's row i) and op(B)
+// (k x n) into contiguous buffers rounded to the format's input precision,
+// so the inner product loop is stride-1 on both operands.
+void pack_a_transposed(char transa, std::size_t m, std::size_t k,
+                       const double* a, std::size_t lda, Precision prec,
+                       std::vector<double>& at) {
+  at.resize(m * k);
+  if (transa == 'N') {
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t p = 0; p < k; ++p) at[p + i * k] = a[i + p * lda];
+  } else {
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t p = 0; p < k; ++p) at[p + i * k] = a[p + i * lda];
+  }
+  round_inputs(at, prec);
+}
+
+void pack_b(char transb, std::size_t n, std::size_t k, const double* b,
+            std::size_t ldb, Precision prec, std::vector<double>& bp) {
+  bp.resize(k * n);
+  if (transb == 'N') {
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t p = 0; p < k; ++p) bp[p + j * k] = b[p + j * ldb];
+  } else {
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t p = 0; p < k; ++p) bp[p + j * k] = b[j + p * ldb];
+  }
+  round_inputs(bp, prec);
+}
+
+// Dot product with FP64 semantics.
+double dot_fp64(const double* x, const double* y, std::size_t k) {
+  double acc = 0.0;
+  for (std::size_t p = 0; p < k; ++p) acc += x[p] * y[p];
+  return acc;
+}
+
+// Dot product with FP32 accumulation of exact products (tensor-core
+// TF32/FP16_32/BF16_32 accumulate mode; inputs already rounded by packing).
+double dot_acc32(const double* x, const double* y, std::size_t k) {
+  float acc = 0.0f;
+  for (std::size_t p = 0; p < k; ++p) {
+    acc = static_cast<float>(acc + x[p] * y[p]);
+  }
+  return acc;
+}
+
+// Pure FP32: products round to float before accumulating.
+double dot_fp32(const double* x, const double* y, std::size_t k) {
+  float acc = 0.0f;
+  for (std::size_t p = 0; p < k; ++p) {
+    const float prod = static_cast<float>(x[p] * y[p]);
+    acc += prod;
+  }
+  return acc;
+}
+
+// FP16 accumulate: 4-wide block FMA — the 4 products and their sum with the
+// running accumulator are exact, then the result rounds to binary16
+// (Blanchard, Higham, Lopez, Mary, Pranesh 2020, eq. (2.1)).
+double dot_fp16(const double* x, const double* y, std::size_t k) {
+  double acc = 0.0;
+  std::size_t p = 0;
+  while (p < k) {
+    const std::size_t stop = std::min(k, p + 4);
+    double s = acc;
+    for (; p < stop; ++p) s += x[p] * y[p];
+    acc = through_half(s);
+  }
+  return acc;
+}
+
+}  // namespace
+
+void mixed_gemm(Precision prec, char transa, char transb, std::size_t m,
+                std::size_t n, std::size_t k, double alpha, const double* a,
+                std::size_t lda, const double* b, std::size_t ldb, double beta,
+                double* c, std::size_t ldc) {
+  MPGEO_REQUIRE(transa == 'N' || transa == 'T', "mixed_gemm: bad transa");
+  MPGEO_REQUIRE(transb == 'N' || transb == 'T', "mixed_gemm: bad transb");
+  MPGEO_REQUIRE(lda >= (transa == 'N' ? m : k), "mixed_gemm: lda too small");
+  MPGEO_REQUIRE(ldb >= (transb == 'N' ? k : n), "mixed_gemm: ldb too small");
+  MPGEO_REQUIRE(ldc >= m, "mixed_gemm: ldc too small");
+  if (m == 0 || n == 0) return;
+
+  std::vector<double> at, bp;
+  pack_a_transposed(transa, m, k, a, lda, prec, at);
+  pack_b(transb, n, k, b, ldb, prec, bp);
+
+  double (*dot)(const double*, const double*, std::size_t) = nullptr;
+  switch (prec) {
+    case Precision::FP64: dot = dot_fp64; break;
+    case Precision::FP32: dot = dot_fp32; break;
+    case Precision::TF32:
+    case Precision::BF16_32:
+    case Precision::FP16_32: dot = dot_acc32; break;
+    case Precision::FP16: dot = dot_fp16; break;
+  }
+  MPGEO_ASSERT(dot != nullptr);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double ab = k ? dot(&at[i * k], &bp[j * k], k) : 0.0;
+      double out = alpha * ab + beta * c[i + j * ldc];
+      // The final scale-and-add happens at the format's output precision.
+      switch (prec) {
+        case Precision::FP64: break;
+        case Precision::FP16: out = through_half(out); break;
+        default: out = static_cast<float>(out); break;
+      }
+      c[i + j * ldc] = out;
+    }
+  }
+}
+
+double gemm_flops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+             static_cast<double>(k) +
+         2.0 * static_cast<double>(m) * static_cast<double>(n);
+}
+
+}  // namespace mpgeo

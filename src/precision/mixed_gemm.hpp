@@ -1,0 +1,40 @@
+// Emulation of tensor-core GEMM numerics on CPU.
+//
+// Computes C = alpha * op(A) * op(B) + beta * C on column-major buffers with
+// the rounding semantics of each Precision:
+//
+//   FP64     — IEEE double throughout.
+//   FP32     — inputs, products and accumulation in IEEE float.
+//   TF32     — inputs rounded to 10-bit mantissa, FP32 accumulation
+//              (Ampere/Hopper TF32 mode).
+//   BF16_32  — inputs rounded to bfloat16, FP32 accumulation.
+//   FP16_32  — inputs rounded to binary16, FP32 accumulation.
+//   FP16     — inputs rounded to binary16; products exact, accumulated into a
+//              binary16 running sum per 4-wide block-FMA step, matching the
+//              tensor-core model of Blanchard et al. (SISC 2020).
+//
+// All entry points take double buffers: callers materialize tile storage to
+// double (exact) and the emulation applies the format's rounding. This keeps
+// one code path per precision and makes the accuracy experiments (Fig 1,
+// Figs 5-7) reflect format semantics rather than storage plumbing.
+#pragma once
+
+#include <cstddef>
+
+#include "precision/precision.hpp"
+
+namespace mpgeo {
+
+/// Emulated-precision GEMM, column-major. op(X) selected by trans flags
+/// ('N' or 'T'). Dimensions: C is m x n, op(A) m x k, op(B) k x n.
+/// lda/ldb/ldc are leading dimensions of the stored (untransposed) buffers.
+void mixed_gemm(Precision prec, char transa, char transb, std::size_t m,
+                std::size_t n, std::size_t k, double alpha, const double* a,
+                std::size_t lda, const double* b, std::size_t ldb, double beta,
+                double* c, std::size_t ldc);
+
+/// Number of flops a GEMM of these dimensions performs (2mnk + 2mn for the
+/// beta/alpha application), used by benchmarks.
+double gemm_flops(std::size_t m, std::size_t n, std::size_t k);
+
+}  // namespace mpgeo

@@ -1,0 +1,154 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace mpgeo {
+namespace {
+
+// Scheduling rank of a ready task: smaller runs first. Panel tasks (POTRF,
+// TRSM) gate entire iterations, so they preempt queued trailing updates;
+// within a kind, earlier iterations first.
+long priority_rank(const TaskInfo& info) {
+  int cls = 6;
+  switch (info.kind) {
+    case KernelKind::POTRF: cls = 0; break;
+    case KernelKind::TRSM: cls = 1; break;
+    case KernelKind::CONVERT: cls = 2; break;
+    case KernelKind::SYRK: cls = 3; break;
+    case KernelKind::GENERATE: cls = 4; break;
+    case KernelKind::GEMM: cls = 5; break;
+    case KernelKind::CUSTOM: cls = 6; break;
+  }
+  const int iter = info.tk >= 0 ? info.tk : (info.tm >= 0 ? info.tm : 0);
+  return long(cls) * 1000000 + iter;
+}
+
+/// Shared state of one execution. Workers pull ready tasks from a queue;
+/// retiring a task decrements successor indegrees and pushes newly-ready
+/// tasks. A dedicated counter detects completion (queue-empty is not enough:
+/// a task may still be running and about to enqueue successors).
+class Run {
+ public:
+  Run(const TaskGraph& graph, const ExecutorOptions& options)
+      : graph_(graph), options_(options), remaining_(graph.num_tasks()) {
+    indegree_.reserve(graph.num_tasks());
+    for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+      indegree_.emplace_back(graph.task(t).num_predecessors);
+    }
+  }
+
+  ExecutionReport run() {
+    Stopwatch clock;
+    {
+      std::unique_lock lk(mu_);
+      for (TaskId t : graph_.roots()) ready_.push_back(t);
+    }
+    std::size_t n = options_.num_threads;
+    if (n == 0) n = std::thread::hardware_concurrency();
+    if (n == 0) n = 4;
+    n = std::min<std::size_t>(n, std::max<std::size_t>(graph_.num_tasks(), 1));
+
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      workers.emplace_back([this, w, &clock] { worker_loop(w, clock); });
+    }
+    for (auto& t : workers) t.join();
+
+    if (first_error_) std::rethrow_exception(first_error_);
+
+    ExecutionReport report;
+    report.tasks_run = graph_.num_tasks();
+    report.wall_seconds = clock.seconds();
+    report.trace = std::move(trace_);
+    return report;
+  }
+
+ private:
+  void worker_loop(std::size_t worker, const Stopwatch& clock) {
+    for (;;) {
+      TaskId id;
+      {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [this] {
+          return !ready_.empty() || remaining_ == 0 || first_error_;
+        });
+        if (ready_.empty()) return;  // done or erroring out
+        if (options_.use_priorities) {
+          auto best = ready_.begin();
+          for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+            if (priority_rank(graph_.task(*it).info) <
+                priority_rank(graph_.task(*best).info)) {
+              best = it;
+            }
+          }
+          id = *best;
+          ready_.erase(best);
+        } else {
+          id = ready_.back();
+          ready_.pop_back();
+        }
+      }
+
+      const Task& task = graph_.task(id);
+      const double t0 = clock.seconds();
+      if (task.body && !has_error_.load(std::memory_order_acquire)) {
+        try {
+          task.body();
+        } catch (...) {
+          std::unique_lock lk(mu_);
+          if (!first_error_) {
+            first_error_ = std::current_exception();
+            has_error_.store(true, std::memory_order_release);
+          }
+        }
+      }
+      const double t1 = clock.seconds();
+
+      {
+        std::unique_lock lk(mu_);
+        if (options_.capture_trace) {
+          trace_.push_back(TaskTraceEntry{id, worker, t0, t1});
+        }
+        for (TaskId succ : task.successors) {
+          MPGEO_ASSERT(indegree_[succ] > 0);
+          if (--indegree_[succ] == 0) ready_.push_back(succ);
+        }
+        MPGEO_ASSERT(remaining_ > 0);
+        --remaining_;
+        if (remaining_ == 0 || !ready_.empty() || first_error_) {
+          cv_.notify_all();
+        }
+      }
+    }
+  }
+
+  const TaskGraph& graph_;
+  const ExecutorOptions& options_;
+  std::vector<std::uint32_t> indegree_;
+  std::vector<TaskId> ready_;
+  std::size_t remaining_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::exception_ptr first_error_;
+  std::atomic<bool> has_error_{false};
+  std::vector<TaskTraceEntry> trace_;
+};
+
+}  // namespace
+
+ExecutionReport execute(const TaskGraph& graph, const ExecutorOptions& options) {
+  if (graph.num_tasks() == 0) return {};
+  Run run(graph, options);
+  return run.run();
+}
+
+}  // namespace mpgeo

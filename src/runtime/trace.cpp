@@ -1,0 +1,57 @@
+#include "runtime/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+namespace {
+
+/// Minimal JSON string escape (task names are ASCII identifiers, but be
+/// safe about quotes/backslashes).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(const ExecutionReport& report, const TaskGraph& graph,
+                        std::ostream& os) {
+  MPGEO_REQUIRE(!report.trace.empty() || report.tasks_run == 0,
+                "write_chrome_trace: report has no trace (enable "
+                "ExecutorOptions::capture_trace)");
+  os << "[\n";
+  bool first = true;
+  for (const TaskTraceEntry& e : report.trace) {
+    MPGEO_REQUIRE(e.task < graph.num_tasks(),
+                  "write_chrome_trace: trace references unknown task");
+    const TaskInfo& info = graph.task(e.task).info;
+    if (!first) os << ",\n";
+    first = false;
+    // Complete events ("ph":"X") with microsecond timestamps.
+    os << "  {\"name\": \"" << escape(info.name.empty() ? to_string(info.kind)
+                                                        : info.name)
+       << "\", \"cat\": \"" << to_string(info.kind)
+       << "\", \"ph\": \"X\", \"ts\": " << e.start_seconds * 1e6
+       << ", \"dur\": " << (e.end_seconds - e.start_seconds) * 1e6
+       << ", \"pid\": 0, \"tid\": " << e.worker << "}";
+  }
+  os << "\n]\n";
+}
+
+void write_chrome_trace_file(const ExecutionReport& report,
+                             const TaskGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  MPGEO_REQUIRE(out.good(), "write_chrome_trace_file: cannot open " + path);
+  write_chrome_trace(report, graph, out);
+}
+
+}  // namespace mpgeo

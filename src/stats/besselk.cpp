@@ -1,0 +1,131 @@
+#include "stats/besselk.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+namespace {
+
+constexpr double kEulerGamma = 0.57721566490153286060651209008;
+constexpr double kPi = 3.14159265358979323846264338328;
+constexpr int kMaxIter = 10000;
+constexpr double kEps = 1e-16;
+
+// Temme's auxiliary coefficients:
+//   gam1 = (1/Gamma(1-mu) - 1/Gamma(1+mu)) / (2 mu)
+//   gam2 = (1/Gamma(1-mu) + 1/Gamma(1+mu)) / 2
+//   gampl = 1/Gamma(1+mu),  gammi = 1/Gamma(1-mu)
+void temme_gammas(double mu, double& gam1, double& gam2, double& gampl,
+                  double& gammi) {
+  gampl = 1.0 / std::tgamma(1.0 + mu);
+  gammi = 1.0 / std::tgamma(1.0 - mu);
+  gam2 = 0.5 * (gammi + gampl);
+  if (std::fabs(mu) < 1e-9) {
+    // Limit mu -> 0 with a second-order correction (gam1 is even in mu^2
+    // around -gamma_E up to O(mu^2) terms that are negligible here).
+    gam1 = -kEulerGamma;
+  } else {
+    gam1 = (gammi - gampl) / (2.0 * mu);
+  }
+}
+
+// Scaled K at fractional order: returns e^x * K_mu(x) and e^x * K_{mu+1}(x).
+void scaled_k_fractional(double mu, double x, double& kmu, double& kmu1) {
+  MPGEO_ASSERT(std::fabs(mu) <= 0.5 + 1e-12);
+  if (x <= 2.0) {
+    // Temme series.
+    const double pimu = kPi * mu;
+    const double fact =
+        (std::fabs(pimu) < 1e-12) ? 1.0 : pimu / std::sin(pimu);
+    const double d = -std::log(0.5 * x);
+    const double e = mu * d;
+    const double fact2 = (std::fabs(e) < 1e-12) ? 1.0 : std::sinh(e) / e;
+    double gam1, gam2, gampl, gammi;
+    temme_gammas(mu, gam1, gam2, gampl, gammi);
+    double ff = fact * (gam1 * std::cosh(e) + gam2 * fact2 * d);
+    double sum = ff;
+    const double ee = std::exp(e);
+    double p = 0.5 * ee / gampl;
+    double q = 0.5 / (ee * gammi);
+    double c = 1.0;
+    const double x2 = 0.25 * x * x;
+    double sum1 = p;
+    int i = 1;
+    for (; i <= kMaxIter; ++i) {
+      ff = (i * ff + p + q) / (i * i - mu * mu);
+      c *= x2 / i;
+      p /= (i - mu);
+      q /= (i + mu);
+      const double del = c * ff;
+      sum += del;
+      const double del1 = c * (p - i * ff);
+      sum1 += del1;
+      if (std::fabs(del) < std::fabs(sum) * kEps) break;
+    }
+    MPGEO_REQUIRE(i <= kMaxIter, "bessel_k: Temme series failed to converge");
+    const double scale = std::exp(x);
+    kmu = sum * scale;
+    kmu1 = sum1 * (2.0 / x) * scale;
+  } else {
+    // Steed's continued fraction CF2; yields the scaled function directly.
+    double b = 2.0 * (1.0 + x);
+    double d = 1.0 / b;
+    double h = d, delh = d;
+    double q1 = 0.0, q2 = 1.0;
+    const double a1 = 0.25 - mu * mu;
+    double q = a1, c = a1;
+    double a = -a1;
+    double s = 1.0 + q * delh;
+    int i = 2;
+    for (; i <= kMaxIter; ++i) {
+      a -= 2 * (i - 1);
+      c = -a * c / i;
+      const double qnew = (q1 - b * q2) / a;
+      q1 = q2;
+      q2 = qnew;
+      q += c * qnew;
+      b += 2.0;
+      d = 1.0 / (b + a * d);
+      delh = (b * d - 1.0) * delh;
+      h += delh;
+      const double dels = q * delh;
+      s += dels;
+      if (std::fabs(dels / s) < kEps) break;
+    }
+    MPGEO_REQUIRE(i <= kMaxIter, "bessel_k: CF2 failed to converge");
+    h = a1 * h;
+    kmu = std::sqrt(kPi / (2.0 * x)) / s;  // scaled: no exp(-x)
+    kmu1 = kmu * (mu + x + 0.5 - h) / x;
+  }
+}
+
+// e^x * K_nu(x) via fractional-order seed + upward recurrence.
+double scaled_bessel_k(double nu, double x) {
+  MPGEO_REQUIRE(nu >= 0.0, "bessel_k: order must be non-negative");
+  MPGEO_REQUIRE(x > 0.0, "bessel_k: argument must be positive");
+  const int nl = static_cast<int>(nu + 0.5);
+  const double mu = nu - nl;  // in [-1/2, 1/2]
+  double kmu, kmu1;
+  scaled_k_fractional(mu, x, kmu, kmu1);
+  // Upward recurrence K_{m+1} = K_{m-1} + (2m/x) K_m from order mu to nu;
+  // entering iteration i, kmu = K_{mu+i-1} and kmu1 = K_{mu+i}.
+  for (int i = 1; i <= nl; ++i) {
+    const double knu1 = kmu + (2.0 * (mu + i)) / x * kmu1;
+    kmu = kmu1;
+    kmu1 = knu1;
+  }
+  return kmu;
+}
+
+}  // namespace
+
+double bessel_k(double nu, double x) {
+  return scaled_bessel_k(nu, x) * std::exp(-x);
+}
+
+double log_bessel_k(double nu, double x) {
+  return std::log(scaled_bessel_k(nu, x)) - x;
+}
+
+}  // namespace mpgeo

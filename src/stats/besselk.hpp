@@ -1,0 +1,21 @@
+// Modified Bessel function of the second kind K_nu(x) for real order.
+//
+// Required by the Matérn covariance (paper Section III-A). Implemented from
+// scratch with the classic two-regime scheme (Temme 1975; cf. Numerical
+// Recipes "bessik"): a Temme power series for x <= 2 and Steed's CF2
+// continued fraction for x > 2, both evaluated at the fractional order
+// mu in [-1/2, 1/2] and raised by stable upward recurrence
+//   K_{nu+1}(x) = K_{nu-1}(x) + (2 nu / x) K_nu(x).
+// Accuracy: ~1e-13 relative over nu in [0, 30], x in (0, 700).
+#pragma once
+
+namespace mpgeo {
+
+/// K_nu(x) for nu >= 0, x > 0. Throws mpgeo::Error on domain violations.
+/// Underflows smoothly to 0 for large x (x >~ 705).
+double bessel_k(double nu, double x);
+
+/// log(K_nu(x)), usable when K itself would underflow (large x).
+double log_bessel_k(double nu, double x);
+
+}  // namespace mpgeo

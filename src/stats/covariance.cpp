@@ -1,0 +1,100 @@
+#include "stats/covariance.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/besselk.hpp"
+
+namespace mpgeo {
+
+std::string to_string(CovKind k) {
+  switch (k) {
+    case CovKind::SqExp: return "sqexp";
+    case CovKind::Matern: return "matern";
+    case CovKind::PowExp: return "powexp";
+  }
+  MPGEO_ASSERT(false);
+  return {};
+}
+
+std::vector<std::string> Covariance::param_names() const {
+  switch (kind_) {
+    case CovKind::Matern: return {"sigma2", "beta", "nu"};
+    case CovKind::PowExp: return {"sigma2", "beta", "alpha"};
+    case CovKind::SqExp: break;
+  }
+  return {"sigma2", "beta"};
+}
+
+void Covariance::check_params(std::span<const double> theta) const {
+  MPGEO_REQUIRE(theta.size() == num_params(),
+                "covariance: wrong number of parameters");
+  for (double t : theta) {
+    MPGEO_REQUIRE(t > 0.0, "covariance: parameters must be positive");
+  }
+  if (kind_ == CovKind::PowExp) {
+    MPGEO_REQUIRE(theta[2] <= 2.0,
+                  "covariance: powered exponential needs alpha <= 2 for "
+                  "positive definiteness");
+  }
+}
+
+double Covariance::value(double h, std::span<const double> theta) const {
+  check_params(theta);
+  MPGEO_REQUIRE(h >= 0.0, "covariance: negative distance");
+  const double sigma2 = theta[0];
+  const double beta = theta[1];
+  switch (kind_) {
+    case CovKind::SqExp:
+      return sigma2 * std::exp(-(h * h) / beta);
+    case CovKind::PowExp: {
+      const double alpha = theta[2];
+      if (h < 1e-300) return sigma2;
+      return sigma2 * std::exp(-std::pow(h / beta, alpha));
+    }
+    case CovKind::Matern: {
+      const double nu = theta[2];
+      if (h < 1e-14) return sigma2;
+      const double r = h / beta;
+      // sigma2 * 2^{1-nu}/Gamma(nu) * r^nu * K_nu(r), computed in log space
+      // so that large r underflows smoothly instead of producing 0 * inf.
+      const double log_c = (1.0 - nu) * std::log(2.0) - std::lgamma(nu) +
+                           nu * std::log(r) + log_bessel_k(nu, r);
+      return sigma2 * std::exp(log_c);
+    }
+  }
+  MPGEO_ASSERT(false);
+  return 0;
+}
+
+void covariance_tile(const Covariance& cov, const LocationSet& locs,
+                     std::span<const double> theta, std::size_t r0,
+                     std::size_t c0, std::size_t mb, std::size_t nb,
+                     double* out, std::size_t ld, double nugget) {
+  cov.check_params(theta);
+  MPGEO_REQUIRE(r0 + mb <= locs.size() && c0 + nb <= locs.size(),
+                "covariance_tile: tile exceeds location set");
+  MPGEO_REQUIRE(ld >= mb, "covariance_tile: ld too small");
+  for (std::size_t j = 0; j < nb; ++j) {
+    for (std::size_t i = 0; i < mb; ++i) {
+      const std::size_t gi = r0 + i;
+      const std::size_t gj = c0 + j;
+      double v = cov.value(locs.distance(gi, gj), theta);
+      if (gi == gj) v += nugget * theta[0];
+      out[i + j * ld] = v;
+    }
+  }
+}
+
+Matrix<double> covariance_matrix(const Covariance& cov,
+                                 const LocationSet& locs,
+                                 std::span<const double> theta,
+                                 double nugget) {
+  const std::size_t n = locs.size();
+  Matrix<double> sigma(n, n);
+  covariance_tile(cov, locs, theta, 0, 0, n, n, sigma.data(), sigma.ld(),
+                  nugget);
+  return sigma;
+}
+
+}  // namespace mpgeo

@@ -1,0 +1,42 @@
+#include "stats/field.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/reference.hpp"
+
+namespace mpgeo {
+
+std::vector<double> sample_field(const Covariance& cov, const LocationSet& locs,
+                                 std::span<const double> theta, Rng& rng) {
+  Matrix<double> sigma = covariance_matrix(cov, locs, theta);
+  cholesky_lower(sigma);
+  const std::size_t n = locs.size();
+  std::vector<double> e(n);
+  for (auto& x : e) x = rng.normal();
+  std::vector<double> z(n, 0.0);
+  // z = L e; L is lower triangular, so only p <= i contributes.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t p = 0; p <= i; ++p) acc += sigma(i, p) * e[p];
+    z[i] = acc;
+  }
+  return z;
+}
+
+double exact_log_likelihood(const Covariance& cov, const LocationSet& locs,
+                            std::span<const double> theta,
+                            std::span<const double> z, double nugget) {
+  const std::size_t n = locs.size();
+  MPGEO_REQUIRE(z.size() == n, "log_likelihood: observation size mismatch");
+  Matrix<double> sigma = covariance_matrix(cov, locs, theta, nugget);
+  cholesky_lower(sigma);
+  const double logdet = logdet_from_cholesky(sigma);
+  std::vector<double> zv(z.begin(), z.end());
+  const double quad = quadratic_form(sigma, zv);
+  constexpr double kLog2Pi = 1.83787706640934548356065947281;
+  return -0.5 * double(n) * kLog2Pi - 0.5 * logdet - 0.5 * quad;
+}
+
+}  // namespace mpgeo

@@ -1,0 +1,30 @@
+// Synthetic Gaussian random field sampling and the exact log-likelihood.
+//
+// Monte-Carlo experiments (paper Figs 5/6) draw Z ~ N(0, Sigma(theta_true))
+// by Z = L e with L the Cholesky factor of Sigma and e iid standard normal,
+// then ask the MLE to recover theta_true. The exact FP64 likelihood here is
+// both the "exact computation" baseline column of the boxplots and the
+// oracle mixed-precision likelihoods are tested against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/covariance.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+
+/// Sample one realization Z ~ N(0, Sigma(theta)) at the given locations.
+std::vector<double> sample_field(const Covariance& cov, const LocationSet& locs,
+                                 std::span<const double> theta, Rng& rng);
+
+/// Exact Gaussian log-likelihood (paper eq. (1)):
+///   l(theta) = -n/2 log(2 pi) - 1/2 log|Sigma| - 1/2 Z^T Sigma^{-1} Z
+/// evaluated with a full FP64 Cholesky. Throws if Sigma(theta) is not SPD.
+double exact_log_likelihood(const Covariance& cov, const LocationSet& locs,
+                            std::span<const double> theta,
+                            std::span<const double> z, double nugget = 1e-8);
+
+}  // namespace mpgeo

@@ -1,0 +1,71 @@
+#include "stats/kriging.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/reference.hpp"
+
+namespace mpgeo {
+
+KrigingResult krige(const Covariance& cov, const LocationSet& observed,
+                    std::span<const double> z, const LocationSet& targets,
+                    std::span<const double> theta, double nugget) {
+  cov.check_params(theta);
+  MPGEO_REQUIRE(observed.dim == targets.dim,
+                "krige: observed/target dimensionality mismatch");
+  const std::size_t n = observed.size();
+  const std::size_t m = targets.size();
+  MPGEO_REQUIRE(z.size() == n, "krige: observation count mismatch");
+  MPGEO_REQUIRE(m >= 1, "krige: no prediction sites");
+
+  Matrix<double> sigma = covariance_matrix(cov, observed, theta, nugget);
+  cholesky_lower(sigma);  // throws if not SPD
+
+  // Cross covariance k_j(i) = C(||s_i - t_j||) column by column.
+  // With L L^T = Sigma_oo:
+  //   mean_j = k_j^T Sigma^{-1} z      = (L^{-1} k_j)^T (L^{-1} z)
+  //   var_j  = C(0) - ||L^{-1} k_j||^2
+  std::vector<double> zw(z.begin(), z.end());
+  forward_solve(sigma, zw);  // zw = L^{-1} z
+
+  KrigingResult out;
+  out.mean.resize(m);
+  out.variance.resize(m);
+  const double sill = cov.value(0.0, theta);
+  std::vector<double> k(n);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (int d = 0; d < observed.dim; ++d) {
+        const double diff = observed.coords[i * observed.dim + d] -
+                            targets.coords[j * targets.dim + d];
+        acc += diff * diff;
+      }
+      k[i] = cov.value(std::sqrt(acc), theta);
+    }
+    forward_solve(sigma, k);  // k = L^{-1} k_j
+    double mean = 0.0, reduction = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mean += k[i] * zw[i];
+      reduction += k[i] * k[i];
+    }
+    out.mean[j] = mean;
+    // Clamp tiny negative values from roundoff.
+    out.variance[j] = std::max(0.0, sill - reduction);
+  }
+  return out;
+}
+
+double mspe(std::span<const double> predicted, std::span<const double> truth) {
+  MPGEO_REQUIRE(predicted.size() == truth.size() && !predicted.empty(),
+                "mspe: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - truth[i];
+    acc += d * d;
+  }
+  return acc / double(predicted.size());
+}
+
+}  // namespace mpgeo

@@ -1,0 +1,38 @@
+// Gaussian-process prediction (simple kriging) at unobserved locations.
+//
+// The application stack the paper accelerates is "modeling and prediction"
+// (Abdulah et al. [12][13]): once theta-hat is estimated by the MLE, the
+// fitted model predicts the field at new sites. For a zero-mean GP,
+//
+//   z_hat      = Sigma_po Sigma_oo^{-1} z
+//   var(z_hat) = diag(Sigma_pp) - diag(Sigma_po Sigma_oo^{-1} Sigma_op)
+//
+// where o = observed, p = prediction sites. This header provides the exact
+// FP64 path; core/mp_prediction.hpp routes the solve through the
+// mixed-precision tile Cholesky.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/covariance.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+
+struct KrigingResult {
+  std::vector<double> mean;      ///< predicted values, one per target site
+  std::vector<double> variance;  ///< prediction variance (>= 0, <= sigma2)
+};
+
+/// Exact simple kriging with a dense FP64 factorization of Sigma_oo.
+/// `nugget * sigma2` regularizes the observed-covariance diagonal.
+KrigingResult krige(const Covariance& cov, const LocationSet& observed,
+                    std::span<const double> z, const LocationSet& targets,
+                    std::span<const double> theta, double nugget = 1e-8);
+
+/// Mean squared prediction error against known truth (competition metric of
+/// Huang et al. 2021, which the paper cites for MLE benchmarking).
+double mspe(std::span<const double> predicted, std::span<const double> truth);
+
+}  // namespace mpgeo

@@ -1,0 +1,111 @@
+#include "stats/locations.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+namespace {
+
+// Interleave the low 21 bits of up to 3 coordinates into a Morton code.
+std::uint64_t spread_bits_3(std::uint64_t v) {
+  v &= 0x1FFFFF;  // 21 bits
+  v = (v | (v << 32)) & 0x1F00000000FFFFULL;
+  v = (v | (v << 16)) & 0x1F0000FF0000FFULL;
+  v = (v | (v << 8)) & 0x100F00F00F00F00FULL;
+  v = (v | (v << 4)) & 0x10C30C30C30C30C3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+std::uint64_t spread_bits_2(std::uint64_t v) {
+  v &= 0xFFFFFFFF;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+std::uint64_t morton_code(const double* p, int dim) {
+  if (dim == 2) {
+    const auto x = static_cast<std::uint64_t>(std::clamp(p[0], 0.0, 1.0) * double((1u << 16) - 1));
+    const auto y = static_cast<std::uint64_t>(std::clamp(p[1], 0.0, 1.0) * double((1u << 16) - 1));
+    return spread_bits_2(x) | (spread_bits_2(y) << 1);
+  }
+  const auto x = static_cast<std::uint64_t>(std::clamp(p[0], 0.0, 1.0) * double((1u << 21) - 1));
+  const auto y = static_cast<std::uint64_t>(std::clamp(p[1], 0.0, 1.0) * double((1u << 21) - 1));
+  const auto z = static_cast<std::uint64_t>(std::clamp(p[2], 0.0, 1.0) * double((1u << 21) - 1));
+  return spread_bits_3(x) | (spread_bits_3(y) << 1) | (spread_bits_3(z) << 2);
+}
+
+}  // namespace
+
+double LocationSet::distance(std::size_t i, std::size_t j) const {
+  MPGEO_ASSERT(i < size() && j < size());
+  double acc = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    const double diff = coords[i * dim + d] - coords[j * dim + d];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+void morton_sort(LocationSet& locs) {
+  const std::size_t n = locs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::uint64_t> codes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    codes[i] = morton_code(&locs.coords[i * locs.dim], locs.dim);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return codes[a] < codes[b]; });
+  std::vector<double> sorted(locs.coords.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < locs.dim; ++d) {
+      sorted[i * locs.dim + d] = locs.coords[order[i] * locs.dim + d];
+    }
+  }
+  locs.coords = std::move(sorted);
+}
+
+LocationSet generate_locations(std::size_t n, int dim, Rng& rng,
+                               bool do_morton_sort) {
+  MPGEO_REQUIRE(dim == 2 || dim == 3, "generate_locations: dim must be 2 or 3");
+  MPGEO_REQUIRE(n >= 1, "generate_locations: n must be positive");
+  LocationSet locs;
+  locs.dim = dim;
+  locs.coords.resize(n * dim);
+
+  // Grid side: smallest integer whose dim-th power covers n.
+  std::size_t side = 1;
+  while (std::pow(double(side), dim) < double(n)) ++side;
+
+  // ExaGeoStat jitter: each grid point offset by U(-0.4, 0.4) cell widths,
+  // guaranteeing no duplicates while looking irregular.
+  const double cell = 1.0 / double(side);
+  std::size_t written = 0;
+  for (std::size_t idx = 0; written < n; ++idx) {
+    std::size_t rem = idx;
+    double p[3] = {0, 0, 0};
+    bool in_range = true;
+    for (int d = 0; d < dim; ++d) {
+      const std::size_t g = rem % side;
+      rem /= side;
+      p[d] = (double(g) + 0.5 + rng.uniform(-0.4, 0.4)) * cell;
+    }
+    if (rem != 0) in_range = false;  // idx beyond side^dim (cannot happen)
+    MPGEO_ASSERT(in_range);
+    for (int d = 0; d < dim; ++d) locs.coords[written * dim + d] = p[d];
+    ++written;
+  }
+  if (do_morton_sort) morton_sort(locs);
+  return locs;
+}
+
+}  // namespace mpgeo

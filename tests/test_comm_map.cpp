@@ -1,0 +1,180 @@
+// Tests for Algorithm 2 (automated precision conversion): diagonal
+// broadcast rules, panel STC/TTC decisions, the storage cap invariant, the
+// extreme configurations of Fig 8, and the literal-pseudocode veto variant.
+#include <gtest/gtest.h>
+
+#include "core/comm_map.hpp"
+#include "core/precision_map.hpp"
+
+namespace mpgeo {
+namespace {
+
+/// Hand-built map: diagonal FP64, off-diagonal all at `off`.
+PrecisionMap uniform_map(std::size_t nt, Precision off) {
+  PrecisionMap map(nt, Precision::FP64);
+  for (std::size_t m = 0; m < nt; ++m)
+    for (std::size_t k = 0; k < m; ++k) map.set_kernel(m, k, off);
+  return map;
+}
+
+TEST(CommMap, Fp64Fp16ExtremeAllStc) {
+  // Fig 8's FP64/FP16 configuration: "all communications can employ STC".
+  const PrecisionMap pmap = uniform_map(8, Precision::FP16);
+  const CommMap cmap = build_comm_map(pmap);
+  for (std::size_t m = 0; m < 8; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      if (m + 1 == 8 && k == m) continue;  // last diagonal broadcasts nothing
+      EXPECT_TRUE(cmap.uses_stc(m, k, pmap)) << m << "," << k;
+    }
+  }
+  // Diagonal broadcasts drop to FP32 (all TRSMs below run FP32)...
+  EXPECT_EQ(cmap.comm(0, 0), Precision::FP32);
+  // ...and panels travel at FP16 (all consuming GEMMs are FP16).
+  EXPECT_EQ(cmap.comm(3, 1), Precision::FP16);
+  EXPECT_EQ(cmap.wire_bytes_per_element(3, 1), 2u);
+}
+
+TEST(CommMap, Fp64Fp16_32ExtremeAllStc) {
+  const PrecisionMap pmap = uniform_map(6, Precision::FP16_32);
+  const CommMap cmap = build_comm_map(pmap);
+  // FP16_32 consumers take 16-bit inputs: wire is FP16, storage FP32 -> STC.
+  EXPECT_EQ(wire_storage(cmap.comm(3, 1)), Storage::FP16);
+  EXPECT_TRUE(cmap.uses_stc(3, 1, pmap));
+}
+
+TEST(CommMap, AllFp64NoStcAnywhere) {
+  const PrecisionMap pmap = uniform_map(6, Precision::FP64);
+  const CommMap cmap = build_comm_map(pmap);
+  for (std::size_t m = 0; m < 6; ++m)
+    for (std::size_t k = 0; k <= m; ++k)
+      EXPECT_FALSE(cmap.uses_stc(m, k, pmap)) << m << "," << k;
+  // Diagonal comm raised to FP64 because TRSMs below run FP64.
+  EXPECT_EQ(cmap.comm(0, 0), Precision::FP64);
+}
+
+TEST(CommMap, DiagonalRaisedOnlyWhenColumnHasFp64Trsm) {
+  // Column 0 mixed: tile (1,0) FP64, rest FP16 -> POTRF(0,0) must ship FP64.
+  PrecisionMap pmap = uniform_map(5, Precision::FP16);
+  pmap.set_kernel(1, 0, Precision::FP64);
+  const CommMap cmap = build_comm_map(pmap);
+  EXPECT_EQ(cmap.comm(0, 0), Precision::FP64);
+  EXPECT_FALSE(cmap.uses_stc(0, 0, pmap));
+  // Column 1 is all-FP16: POTRF(1,1) ships FP32 (STC).
+  EXPECT_EQ(cmap.comm(1, 1), Precision::FP32);
+  EXPECT_TRUE(cmap.uses_stc(1, 1, pmap));
+}
+
+TEST(CommMap, PanelCommRaisedToHighestGemmConsumer) {
+  // Panel (3,0): row consumers are tiles (3,1), (3,2); column consumers are
+  // (4,3). Make (3,2) FP32 -> comm must rise to FP32 (== storage -> TTC).
+  PrecisionMap pmap = uniform_map(5, Precision::FP16);
+  pmap.set_kernel(3, 2, Precision::FP32);
+  const CommMap cmap = build_comm_map(pmap);
+  EXPECT_EQ(cmap.comm(3, 0), Precision::FP32);
+  EXPECT_FALSE(cmap.uses_stc(3, 0, pmap));  // capped at storage
+  // Panel (4,0): row consumers (4,1),(4,2),(4,3) all FP16, no column
+  // consumers below — unaffected, still FP16 STC.
+  EXPECT_EQ(cmap.comm(4, 0), Precision::FP16);
+  EXPECT_TRUE(cmap.uses_stc(4, 0, pmap));
+}
+
+TEST(CommMap, ColumnBroadcastConsumersCounted) {
+  // Panel (1,0) feeds column-GEMMs at tiles (n,1) for n > 1. Make (4,1)
+  // FP32 while rows stay FP16: comm(1,0) must rise to FP32.
+  PrecisionMap pmap = uniform_map(5, Precision::FP16);
+  pmap.set_kernel(4, 1, Precision::FP32);
+  const CommMap cmap = build_comm_map(pmap);
+  EXPECT_EQ(cmap.comm(1, 0), Precision::FP32);
+}
+
+TEST(CommMap, CommNeverExceedsStorage) {
+  // Property: for every tile, wire bytes <= storage bytes.
+  for (Precision off : {Precision::FP16, Precision::FP16_32, Precision::FP32,
+                        Precision::FP64}) {
+    PrecisionMap pmap = uniform_map(7, off);
+    // Sprinkle some FP64 panels for mixtures.
+    pmap.set_kernel(3, 0, Precision::FP64);
+    pmap.set_kernel(5, 2, Precision::FP32);
+    const CommMap cmap = build_comm_map(pmap);
+    for (std::size_t m = 0; m < 7; ++m) {
+      for (std::size_t k = 0; k <= m; ++k) {
+        EXPECT_LE(cmap.wire_bytes_per_element(m, k),
+                  bytes_per_element(pmap.storage(m, k)))
+            << to_string(off) << " tile " << m << "," << k;
+      }
+    }
+  }
+}
+
+TEST(CommMap, PanelCommAtLeastAsWideAsAnyGemmConsumerInput) {
+  // Property: STC must not starve a consumer — wire format >= the input
+  // format of every GEMM consuming this panel.
+  PrecisionMap pmap = uniform_map(9, Precision::FP16);
+  pmap.set_kernel(4, 2, Precision::FP16_32);
+  pmap.set_kernel(7, 3, Precision::FP32);
+  pmap.set_kernel(8, 1, Precision::FP64);
+  const CommMap cmap = build_comm_map(pmap);
+  const std::size_t nt = 9;
+  for (std::size_t k = 0; k + 1 < nt; ++k) {
+    for (std::size_t m = k + 1; m < nt; ++m) {
+      const std::size_t wire = cmap.wire_bytes_per_element(m, k);
+      for (std::size_t n = k + 1; n < m; ++n) {  // row consumers
+        const std::size_t need =
+            bytes_per_element(wire_storage(pmap.kernel(m, n)));
+        EXPECT_GE(wire, std::min(need, bytes_per_element(pmap.storage(m, k))));
+      }
+      for (std::size_t n = m + 1; n < nt; ++n) {  // column consumers
+        const std::size_t need =
+            bytes_per_element(wire_storage(pmap.kernel(n, m)));
+        EXPECT_GE(wire, std::min(need, bytes_per_element(pmap.storage(m, k))));
+      }
+    }
+  }
+}
+
+TEST(CommMap, AllTtcStrategySendsStorageWidth) {
+  const PrecisionMap pmap = uniform_map(6, Precision::FP16);
+  CommMapOptions opts;
+  opts.strategy = ConversionStrategy::AllTTC;
+  const CommMap cmap = build_comm_map(pmap, opts);
+  for (std::size_t m = 0; m < 6; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      EXPECT_EQ(cmap.wire_bytes_per_element(m, k),
+                bytes_per_element(pmap.storage(m, k)));
+      EXPECT_FALSE(cmap.uses_stc(m, k, pmap));
+    }
+  }
+}
+
+TEST(CommMap, LiteralVetoVariantForcesTtcOnPanels) {
+  // With diagonal_consumers_veto, the FP64 SYRK in the row scan caps every
+  // panel at its storage width (the literal reading of Algorithm 2).
+  const PrecisionMap pmap = uniform_map(6, Precision::FP16);
+  CommMapOptions opts;
+  opts.diagonal_consumers_veto = true;
+  const CommMap cmap = build_comm_map(pmap, opts);
+  for (std::size_t k = 0; k + 1 < 6; ++k) {
+    for (std::size_t m = k + 1; m < 6; ++m) {
+      EXPECT_FALSE(cmap.uses_stc(m, k, pmap)) << m << "," << k;
+    }
+  }
+  // Diagonal STC is unaffected by the veto.
+  EXPECT_TRUE(cmap.uses_stc(0, 0, pmap));
+}
+
+TEST(CommMap, StcFractionStatistic) {
+  const PrecisionMap all16 = uniform_map(8, Precision::FP16);
+  const PrecisionMap all64 = uniform_map(8, Precision::FP64);
+  EXPECT_GT(build_comm_map(all16).stc_fraction(all16), 0.9);
+  EXPECT_EQ(build_comm_map(all64).stc_fraction(all64), 0.0);
+}
+
+TEST(CommMap, SingleTileMatrix) {
+  const PrecisionMap pmap(1, Precision::FP64);
+  const CommMap cmap = build_comm_map(pmap);
+  // A 1x1 tile matrix has no communications; the map is still well-formed.
+  EXPECT_EQ(cmap.nt(), 1u);
+}
+
+}  // namespace
+}  // namespace mpgeo

@@ -1,0 +1,272 @@
+// Tests for src/linalg: BLAS kernels vs naive oracles, Cholesky reference,
+// AnyTile storage semantics, tile kernels against dense equivalents.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/anytile.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/reference.hpp"
+#include "linalg/tile_kernels.hpp"
+#include "precision/convert.hpp"
+
+namespace mpgeo {
+namespace {
+
+Matrix<double> random_spd(std::size_t n, Rng& rng) {
+  // A = B B^T + n * I is SPD with comfortable margin.
+  Matrix<double> b(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) b(i, j) = rng.uniform(-1.0, 1.0);
+  Matrix<double> a(n, n);
+  syrk_lower_notrans<double>(n, n, 1.0, b.data(), n, 0.0, a.data(), n);
+  symmetrize_from_lower<double>(n, a.data(), n);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += double(n);
+  return a;
+}
+
+TEST(Blas, PotrfReconstructsMatrix) {
+  Rng rng(1);
+  for (std::size_t n : {1u, 2u, 5u, 17u, 64u}) {
+    Matrix<double> a = random_spd(n, rng);
+    Matrix<double> l = a;
+    ASSERT_EQ(potrf_lower(n, l.data(), n), 0);
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < j; ++i) l(i, j) = 0.0;
+    EXPECT_LT(cholesky_residual(a, l), 1e-13) << "n=" << n;
+  }
+}
+
+TEST(Blas, PotrfDetectsIndefiniteMatrix) {
+  Matrix<double> a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;  // negative pivot at j=1
+  a(2, 2) = 1.0;
+  EXPECT_EQ(potrf_lower(std::size_t{3}, a.data(), 3), 2);
+}
+
+TEST(Blas, TrsmRightLowerTransSolvesXLtEqualsB) {
+  Rng rng(2);
+  const std::size_t m = 7, n = 5;
+  Matrix<double> spd = random_spd(n, rng);
+  Matrix<double> l = spd;
+  ASSERT_EQ(potrf_lower(n, l.data(), n), 0);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < j; ++i) l(i, j) = 0.0;
+  Matrix<double> b(m, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) b(i, j) = rng.uniform(-2, 2);
+  Matrix<double> x = b;
+  trsm_right_lower_trans<double>(m, n, 1.0, l.data(), n, x.data(), m);
+  // Verify X * L^T == B.
+  Matrix<double> recon(m, n);
+  gemm<double>('N', 'T', m, n, n, 1.0, x.data(), m, l.data(), n, 0.0,
+               recon.data(), m);
+  EXPECT_LT(max_abs_diff(recon, b), 1e-12);
+}
+
+TEST(Blas, TrsmLeftLowerSolvesForwardSubstitution) {
+  Rng rng(3);
+  const std::size_t n = 9;
+  Matrix<double> spd = random_spd(n, rng);
+  Matrix<double> l = spd;
+  ASSERT_EQ(potrf_lower(n, l.data(), n), 0);
+  std::vector<double> b(n), x;
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  x = b;
+  trsm_left_lower_notrans<double>(n, 1, 1.0, l.data(), n, x.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0;
+    for (std::size_t p = 0; p <= i; ++p) acc += l(i, p) * x[p];
+    EXPECT_NEAR(acc, b[i], 1e-12);
+  }
+}
+
+TEST(Blas, SyrkMatchesGemmWithTranspose) {
+  Rng rng(4);
+  const std::size_t n = 6, k = 4;
+  Matrix<double> a(n, k);
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = 0; i < n; ++i) a(i, j) = rng.uniform(-1, 1);
+  Matrix<double> c1(n, n), c2(n, n);
+  syrk_lower_notrans<double>(n, k, 1.0, a.data(), n, 0.0, c1.data(), n);
+  symmetrize_from_lower<double>(n, c1.data(), n);
+  gemm<double>('N', 'T', n, n, k, 1.0, a.data(), n, a.data(), n, 0.0,
+               c2.data(), n);
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-14);
+}
+
+TEST(Blas, GemvAndDot) {
+  Matrix<double> a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  std::vector<double> x = {1, 1, 1}, y = {10, 20};
+  gemv_notrans<double>(2, 3, 1.0, a.data(), 2, x.data(), 0.5, y.data());
+  EXPECT_DOUBLE_EQ(y[0], 6 + 5);
+  EXPECT_DOUBLE_EQ(y[1], 15 + 10);
+  EXPECT_DOUBLE_EQ(dot<double>(2, y.data(), y.data()), 11 * 11 + 25 * 25);
+}
+
+TEST(Blas, FrobeniusNorm) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 3; a(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(frobenius_norm(2, 2, a.data(), 2), 5.0);
+}
+
+TEST(Blas, FloatInstantiationWorks) {
+  Matrix<float> a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) = 4.0f;
+  EXPECT_EQ(potrf_lower(std::size_t{3}, a.data(), 3), 0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(a(i, i), 2.0f);
+}
+
+TEST(Reference, LogdetMatchesProductOfEigenvaluesForDiagonal) {
+  Matrix<double> a(3, 3);
+  a(0, 0) = 1.0; a(1, 1) = 4.0; a(2, 2) = 9.0;
+  cholesky_lower(a);
+  EXPECT_NEAR(logdet_from_cholesky(a), std::log(36.0), 1e-14);
+}
+
+TEST(Reference, QuadraticFormMatchesDirectInverse) {
+  // A = [[2, 1], [1, 2]]; A^{-1} = 1/3 [[2, -1], [-1, 2]].
+  Matrix<double> a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+  Matrix<double> l = a;
+  cholesky_lower(l);
+  const std::vector<double> z = {1.0, 2.0};
+  // z' A^{-1} z = (2*1 - 2*1*2 + 2*4)/3 = 6/3 = 2.
+  EXPECT_NEAR(quadratic_form(l, z), 2.0, 1e-14);
+}
+
+TEST(Reference, CholeskyThrowsOnIndefinite) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;  // det < 0
+  EXPECT_THROW(cholesky_lower(a), Error);
+}
+
+TEST(AnyTile, StorageFormatsAndBytes) {
+  AnyTile t64(8, 8, Storage::FP64);
+  AnyTile t32(8, 8, Storage::FP32);
+  AnyTile t16(8, 8, Storage::FP16);
+  EXPECT_EQ(t64.bytes(), 8u * 8 * 8);
+  EXPECT_EQ(t32.bytes(), 8u * 8 * 4);
+  EXPECT_EQ(t16.bytes(), 8u * 8 * 2);
+}
+
+TEST(AnyTile, RoundTripAppliesStorageRounding) {
+  std::vector<double> vals = {3.14159265358979, -1e-3, 7.0, 0.0};
+  for (Storage s : {Storage::FP64, Storage::FP32, Storage::FP16}) {
+    AnyTile t(2, 2, s);
+    t.from_double(vals);
+    std::vector<double> out = t.to_double();
+    std::vector<double> expect = vals;
+    round_through(expect, s);
+    EXPECT_EQ(out, expect) << to_string(s);
+  }
+}
+
+TEST(AnyTile, ConvertStorageNarrowsThenWideningKeepsRounded) {
+  AnyTile t(1, 1, Storage::FP64);
+  t.set(0, 0, 3.14159265358979);
+  t.convert_storage(Storage::FP16);
+  t.convert_storage(Storage::FP64);
+  EXPECT_EQ(t.at(0, 0), through_half(3.14159265358979));
+}
+
+TEST(AnyTile, FrobeniusNormUsesStoredValues) {
+  AnyTile t(2, 1, Storage::FP64);
+  t.set(0, 0, 3.0);
+  t.set(1, 0, 4.0);
+  EXPECT_DOUBLE_EQ(t.frobenius_norm(), 5.0);
+}
+
+class TileKernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = Rng(99);
+    const std::size_t nb = 16;
+    dense_ = random_spd(2 * nb, rng_);
+    // Partition the 2x2-tile SPD matrix.
+    c00_ = AnyTile(nb, nb, Storage::FP64);
+    c10_ = AnyTile(nb, nb, Storage::FP64);
+    c11_ = AnyTile(nb, nb, Storage::FP64);
+    std::vector<double> buf(nb * nb);
+    auto load = [&](AnyTile& t, std::size_t r0, std::size_t c0) {
+      for (std::size_t j = 0; j < nb; ++j)
+        for (std::size_t i = 0; i < nb; ++i)
+          buf[i + j * nb] = dense_(r0 + i, c0 + j);
+      t.from_double(buf);
+    };
+    load(c00_, 0, 0);
+    load(c10_, nb, 0);
+    load(c11_, nb, nb);
+    nb_ = nb;
+  }
+
+  Rng rng_{0};
+  Matrix<double> dense_;
+  AnyTile c00_, c10_, c11_;
+  std::size_t nb_ = 0;
+};
+
+TEST_F(TileKernelTest, TwoByTwoTileCholeskyMatchesDense) {
+  ASSERT_EQ(potrf_tile(c00_), 0);
+  trsm_tile(Precision::FP64, c00_, c10_);
+  syrk_tile(c10_, c11_);
+  ASSERT_EQ(potrf_tile(c11_), 0);
+
+  Matrix<double> l = dense_;
+  cholesky_lower(l);
+  for (std::size_t j = 0; j < nb_; ++j) {
+    for (std::size_t i = 0; i < nb_; ++i) {
+      EXPECT_NEAR(c00_.at(i, j), l(i, j), 1e-11);
+      EXPECT_NEAR(c10_.at(i, j), l(nb_ + i, j), 1e-11);
+      if (i >= j) {
+        EXPECT_NEAR(c11_.at(i, j), l(nb_ + i, nb_ + j), 1e-11);
+      }
+    }
+  }
+}
+
+TEST_F(TileKernelTest, Fp32TrsmIntroducesBoundedError) {
+  ASSERT_EQ(potrf_tile(c00_), 0);
+  AnyTile fp64 = c10_, fp32 = c10_;
+  trsm_tile(Precision::FP64, c00_, fp64);
+  trsm_tile(Precision::FP32, c00_, fp32);
+  double max_diff = 0.0, max_mag = 0.0;
+  for (std::size_t j = 0; j < nb_; ++j)
+    for (std::size_t i = 0; i < nb_; ++i) {
+      max_diff = std::max(max_diff, std::fabs(fp64.at(i, j) - fp32.at(i, j)));
+      max_mag = std::max(max_mag, std::fabs(fp64.at(i, j)));
+    }
+  EXPECT_GT(max_diff, 0.0);                       // FP32 really is coarser
+  EXPECT_LT(max_diff, 1e-4 * (1.0 + max_mag));    // but bounded
+}
+
+TEST_F(TileKernelTest, GemmTileMatchesManualUpdate) {
+  // C11 -= C10 * C10^T via gemm_tile (using c10 as both operands).
+  AnyTile c11_copy = c11_;
+  gemm_tile(Precision::FP64, c10_, c10_, c11_);
+  std::vector<double> a = c10_.to_double();
+  std::vector<double> expect = c11_copy.to_double();
+  gemm<double>('N', 'T', nb_, nb_, nb_, -1.0, a.data(), nb_, a.data(), nb_,
+               1.0, expect.data(), nb_);
+  std::vector<double> got = c11_.to_double();
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got[i], expect[i], 1e-11);
+}
+
+TEST_F(TileKernelTest, KernelShapeValidation) {
+  AnyTile bad(4, 8, Storage::FP64);
+  EXPECT_THROW(potrf_tile(bad), Error);
+  EXPECT_THROW(trsm_tile(Precision::FP16, c00_, c10_), Error);  // no fp16 TRSM
+  AnyTile mismatched(8, 8, Storage::FP64);
+  EXPECT_THROW(syrk_tile(mismatched, c11_), Error);
+}
+
+}  // namespace
+}  // namespace mpgeo

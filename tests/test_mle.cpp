@@ -1,0 +1,163 @@
+// End-to-end MLE tests (paper Section VII-B in miniature): parameter
+// recovery at tight accuracy, graceful degradation at loose accuracy,
+// agreement between exact and mixed-precision likelihood surfaces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/mle.hpp"
+#include "stats/covariance.hpp"
+#include "stats/field.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+namespace {
+
+struct Scenario {
+  LocationSet locs;
+  std::vector<double> z;
+};
+
+Scenario make_scenario(const Covariance& cov, const std::vector<double>& truth,
+                       std::size_t n, std::uint64_t seed, int dim = 2) {
+  Rng rng(seed);
+  Scenario s{generate_locations(n, dim, rng), {}};
+  Rng field_rng = rng.spawn(12345);
+  s.z = sample_field(cov, s.locs, truth, field_rng);
+  return s;
+}
+
+TEST(MpLikelihood, MatchesExactAtTightAccuracy) {
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> truth = {1.0, 0.1};
+  Scenario s = make_scenario(cov, truth, 180, 3);
+  MleOptions mp;
+  mp.u_req = 1e-12;
+  mp.tile = 45;
+  MleOptions exact;
+  exact.exact = true;
+  for (const std::vector<double>& theta :
+       {std::vector<double>{1.0, 0.1}, {0.5, 0.2}, {1.5, 0.05}}) {
+    const double a = mp_log_likelihood(cov, s.locs, theta, s.z, mp);
+    const double b = mp_log_likelihood(cov, s.locs, theta, s.z, exact);
+    EXPECT_NEAR(a, b, 1e-4 * std::fabs(b));
+  }
+}
+
+TEST(MpLikelihood, ModerateAccuracyStaysClose) {
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> truth = {1.0, 0.1};
+  Scenario s = make_scenario(cov, truth, 180, 5);
+  MleOptions mp;
+  mp.u_req = 1e-8;
+  mp.tile = 45;
+  MleOptions exact;
+  exact.exact = true;
+  const double a = mp_log_likelihood(cov, s.locs, truth, s.z, mp);
+  const double b = mp_log_likelihood(cov, s.locs, truth, s.z, exact);
+  // Log-likelihoods are O(n); allow a small absolute drift.
+  EXPECT_NEAR(a, b, 0.05 * std::fabs(b));
+}
+
+TEST(MpLikelihood, PeaksNearTruthOnAverage) {
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> truth = {1.0, 0.1};
+  MleOptions mp;
+  mp.u_req = 1e-9;
+  mp.tile = 40;
+  double at_truth = 0, off1 = 0, off2 = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    Scenario s = make_scenario(cov, truth, 160, 100 + rep);
+    at_truth += mp_log_likelihood(cov, s.locs, truth, s.z, mp);
+    off1 += mp_log_likelihood(cov, s.locs, std::vector<double>{0.4, 0.1}, s.z, mp);
+    off2 += mp_log_likelihood(cov, s.locs, std::vector<double>{1.0, 0.02}, s.z, mp);
+  }
+  EXPECT_GT(at_truth, off1);
+  EXPECT_GT(at_truth, off2);
+}
+
+TEST(FitMle, RecoversSqExpParameters) {
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> truth = {1.0, 0.1};
+  Scenario s = make_scenario(cov, truth, 250, 7);
+  MleOptions opts;
+  opts.u_req = 1e-9;
+  opts.tile = 50;
+  opts.optim.max_evaluations = 600;
+  opts.optim.tolerance = 1e-7;
+  const MleResult r = fit_mle(cov, s.locs, s.z, opts);
+  // Single-replica MLE has sampling noise; expect the right neighborhood.
+  EXPECT_NEAR(r.theta[0], truth[0], 0.35);
+  EXPECT_NEAR(r.theta[1], truth[1], 0.06);
+  EXPECT_GT(r.evaluations, 10);
+}
+
+TEST(FitMle, ExactAndMixedAgreeAtTightAccuracy) {
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> truth = {0.8, 0.08};
+  Scenario s = make_scenario(cov, truth, 200, 11);
+  MleOptions exact;
+  exact.exact = true;
+  exact.optim.max_evaluations = 500;
+  exact.optim.tolerance = 1e-7;
+  MleOptions mixed = exact;
+  mixed.exact = false;
+  mixed.u_req = 1e-10;
+  mixed.tile = 50;
+  const MleResult re = fit_mle(cov, s.locs, s.z, exact);
+  const MleResult rm = fit_mle(cov, s.locs, s.z, mixed);
+  EXPECT_NEAR(re.theta[0], rm.theta[0], 0.05);
+  EXPECT_NEAR(re.theta[1], rm.theta[1], 0.01);
+}
+
+TEST(FitMle, MaternNuHalfRecovery) {
+  const Covariance cov(CovKind::Matern);
+  const std::vector<double> truth = {1.0, 0.1, 0.5};
+  Scenario s = make_scenario(cov, truth, 220, 13);
+  MleOptions opts;
+  opts.u_req = 1e-9;
+  opts.tile = 55;
+  opts.optim.max_evaluations = 900;
+  opts.optim.tolerance = 1e-6;
+  const MleResult r = fit_mle(cov, s.locs, s.z, opts);
+  EXPECT_NEAR(r.theta[0], 1.0, 0.5);
+  EXPECT_NEAR(r.theta[1], 0.1, 0.08);
+  EXPECT_NEAR(r.theta[2], 0.5, 0.35);
+}
+
+TEST(FitMle, VeryLooseAccuracyDegradesButDoesNotCrash) {
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> truth = {1.0, 0.1};
+  Scenario s = make_scenario(cov, truth, 160, 17);
+  MleOptions opts;
+  opts.u_req = 1e-1;  // Fig 5's leftmost, visibly degraded, column
+  opts.tile = 40;
+  opts.optim.max_evaluations = 300;
+  const MleResult r = fit_mle(cov, s.locs, s.z, opts);
+  // Parameters stay inside the box and finite — degradation, not disaster.
+  for (double t : r.theta) {
+    EXPECT_GE(t, opts.lower_bound);
+    EXPECT_LE(t, opts.upper_bound);
+  }
+  EXPECT_TRUE(std::isfinite(r.loglik));
+}
+
+TEST(MpLikelihood, FailedFactorizationReturnsSentinel) {
+  // A wildly mis-specified theta with loose accuracy can break positive
+  // definiteness; the likelihood must degrade to the sentinel, not throw.
+  const Covariance cov(CovKind::SqExp);
+  Rng rng(19);
+  LocationSet locs = generate_locations(64, 2, rng);
+  std::vector<double> z(64, 0.5);
+  MleOptions opts;
+  opts.u_req = 0.5;  // absurdly loose: every tile as coarse as possible
+  opts.tile = 16;
+  const double ll = mp_log_likelihood(
+      cov, locs, std::vector<double>{2.0, 2.0}, z, opts);
+  EXPECT_TRUE(ll == -1e100 || std::isfinite(ll));
+}
+
+}  // namespace
+}  // namespace mpgeo

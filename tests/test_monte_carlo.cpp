@@ -1,0 +1,113 @@
+// Tests for the Monte-Carlo MLE driver and the closed-form broadcast-byte
+// accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/comm_map.hpp"
+#include "core/monte_carlo.hpp"
+#include "core/precision_map.hpp"
+
+namespace mpgeo {
+namespace {
+
+TEST(Summarize, QuartilesOfKnownSample) {
+  const ParameterSummary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_THROW(summarize({}), Error);
+}
+
+TEST(MonteCarlo, RecoversParametersOnAverage) {
+  const Covariance cov(CovKind::SqExp);
+  MonteCarloConfig cfg;
+  cfg.n = 144;
+  cfg.replicas = 4;
+  cfg.mle.u_req = 1e-9;
+  cfg.mle.tile = 36;
+  cfg.mle.optim.max_evaluations = 120;
+  cfg.mle.optim.tolerance = 1e-5;
+  const MonteCarloResult r = run_monte_carlo(cov, {1.0, 0.05}, cfg);
+  EXPECT_EQ(r.failed_replicas, 0);
+  ASSERT_EQ(r.summary.size(), 2u);
+  ASSERT_EQ(r.estimates[0].size(), 4u);
+  // Median estimates land in the right neighborhood at this small n.
+  EXPECT_NEAR(r.summary[0].median, 1.0, 0.5);
+  EXPECT_NEAR(r.summary[1].median, 0.05, 0.04);
+}
+
+TEST(MonteCarlo, DeterministicGivenSeed) {
+  const Covariance cov(CovKind::SqExp);
+  MonteCarloConfig cfg;
+  cfg.n = 100;
+  cfg.replicas = 2;
+  cfg.mle.tile = 25;
+  cfg.mle.optim.max_evaluations = 60;
+  const MonteCarloResult a = run_monte_carlo(cov, {1.0, 0.05}, cfg);
+  const MonteCarloResult b = run_monte_carlo(cov, {1.0, 0.05}, cfg);
+  ASSERT_EQ(a.estimates[0].size(), b.estimates[0].size());
+  // Replica order may differ under the pool; compare sorted estimates.
+  auto sa = a.estimates[0], sb = b.estimates[0];
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(MonteCarlo, Validation) {
+  const Covariance cov(CovKind::SqExp);
+  MonteCarloConfig cfg;
+  cfg.replicas = 0;
+  EXPECT_THROW(run_monte_carlo(cov, {1.0, 0.1}, cfg), Error);
+}
+
+PrecisionMap uniform_map(std::size_t nt, Precision off) {
+  PrecisionMap map(nt, Precision::FP64);
+  for (std::size_t m = 0; m < nt; ++m)
+    for (std::size_t k = 0; k < m; ++k) map.set_kernel(m, k, off);
+  return map;
+}
+
+TEST(BroadcastBytes, HandComputedSmallCase) {
+  // NT = 3, all FP64: comm = storage = 8 bytes/elem everywhere.
+  // POTRF(0,0)->2 TRSMs, POTRF(1,1)->1, POTRF(2,2)->0: 3 sends.
+  // TRSM(1,0)->2 consumers, TRSM(2,0)->2, TRSM(2,1)->1: 5 sends.
+  const PrecisionMap pmap = uniform_map(3, Precision::FP64);
+  const CommMap cmap = build_comm_map(pmap);
+  const std::size_t tile = 4;
+  EXPECT_EQ(broadcast_payload_bytes(pmap, cmap, tile),
+            (3u + 5u) * tile * tile * 8u);
+}
+
+TEST(BroadcastBytes, StcNeverMoreThanTtc) {
+  for (Precision off : {Precision::FP16, Precision::FP16_32, Precision::FP32}) {
+    const PrecisionMap pmap = uniform_map(9, off);
+    const CommMap stc = build_comm_map(pmap);
+    CommMapOptions topts;
+    topts.strategy = ConversionStrategy::AllTTC;
+    const CommMap ttc = build_comm_map(pmap, topts);
+    EXPECT_LE(broadcast_payload_bytes(pmap, stc, 64),
+              broadcast_payload_bytes(pmap, ttc, 64))
+        << to_string(off);
+  }
+}
+
+TEST(BroadcastBytes, ExtremeFp16ConfigQuartersTheTraffic) {
+  // FP64/FP16 all-STC: panels travel at 2 bytes vs TTC's 4 (FP32 storage),
+  // diagonals at 4 vs 8 — the panel traffic dominates, so expect ~2x less.
+  const PrecisionMap pmap = uniform_map(12, Precision::FP16);
+  const CommMap stc = build_comm_map(pmap);
+  CommMapOptions topts;
+  topts.strategy = ConversionStrategy::AllTTC;
+  const CommMap ttc = build_comm_map(pmap, topts);
+  const double ratio =
+      double(broadcast_payload_bytes(pmap, ttc, 128)) /
+      double(broadcast_payload_bytes(pmap, stc, 128));
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 2.2);
+}
+
+}  // namespace
+}  // namespace mpgeo

@@ -1,0 +1,144 @@
+// Tests for src/optim: bounded derivative-free optimizers on standard
+// objectives (quadratics, Rosenbrock, boundary optima, noisy-but-smooth).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "optim/optimizer.hpp"
+
+namespace mpgeo {
+namespace {
+
+const std::vector<double> kLo2 = {-5.0, -5.0};
+const std::vector<double> kHi2 = {5.0, 5.0};
+
+double sphere(std::span<const double> x) {
+  double acc = 0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+double rosenbrock(std::span<const double> x) {
+  double acc = 0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    acc += 100 * std::pow(x[i + 1] - x[i] * x[i], 2) + std::pow(1 - x[i], 2);
+  }
+  return acc;
+}
+
+TEST(NelderMead, MinimizesSphere) {
+  const std::vector<double> x0 = {3.0, -2.0};
+  const OptimResult r = minimize_nelder_mead(sphere, x0, kLo2, kHi2);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-6);
+  EXPECT_LT(r.fx, 1e-12);
+}
+
+TEST(NelderMead, MinimizesRosenbrock2D) {
+  const std::vector<double> x0 = {-1.2, 1.0};
+  OptimOptions opts;
+  opts.max_evaluations = 5000;
+  const OptimResult r = minimize_nelder_mead(rosenbrock, x0, kLo2, kHi2, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-4);
+}
+
+TEST(NelderMead, RespectsBoxWhenOptimumOutside) {
+  // Unconstrained optimum at (7, 7); box caps at 5.
+  auto f = [](std::span<const double> x) {
+    return std::pow(x[0] - 7, 2) + std::pow(x[1] - 7, 2);
+  };
+  const std::vector<double> x0 = {0.0, 0.0};
+  const OptimResult r = minimize_nelder_mead(f, x0, kLo2, kHi2);
+  EXPECT_NEAR(r.x[0], 5.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 5.0, 1e-6);
+}
+
+TEST(NelderMead, OneDimensionalProblem) {
+  auto f = [](std::span<const double> x) { return std::cos(x[0]) + x[0] * 0.1; };
+  const std::vector<double> x0 = {1.0};
+  const std::vector<double> lo = {0.0}, hi = {6.0};
+  const OptimResult r = minimize_nelder_mead(f, x0, lo, hi);
+  // Minimum of cos(x) + 0.1 x on [0, 6]: sin(x) = 0.1 with cos(x) < 0,
+  // i.e. x = pi - asin(0.1) ~ 3.0414.
+  EXPECT_NEAR(r.x[0], 3.0414, 1e-3);
+}
+
+TEST(NelderMead, ValidatesArguments) {
+  const std::vector<double> x0 = {0.0};
+  const std::vector<double> one = {1.0}, neg = {-1.0}, zero = {0.0}, nine = {9.0};
+  EXPECT_THROW(minimize_nelder_mead(sphere, x0, one, neg), Error);
+  EXPECT_THROW(minimize_nelder_mead(sphere, nine, zero, one), Error);
+  const std::vector<double> empty;
+  EXPECT_THROW(minimize_nelder_mead(sphere, empty, empty, empty), Error);
+}
+
+TEST(PatternSearch, MinimizesSphere) {
+  const std::vector<double> x0 = {4.0, 4.0};
+  const OptimResult r = minimize_pattern_search(sphere, x0, kLo2, kHi2);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-6);
+}
+
+TEST(PatternSearch, HandlesBoundaryOptimum) {
+  auto f = [](std::span<const double> x) { return -x[0] - 2 * x[1]; };
+  const std::vector<double> x0 = {0.0, 0.0};
+  const OptimResult r = minimize_pattern_search(f, x0, kLo2, kHi2);
+  EXPECT_NEAR(r.x[0], 5.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 5.0, 1e-6);
+}
+
+TEST(Minimize, CombinedBeatsToleranceOnIllConditionedQuadratic) {
+  // Narrow valley: f = x^2 + 1000 (y - 0.3)^2.
+  auto f = [](std::span<const double> x) {
+    return x[0] * x[0] + 1000.0 * std::pow(x[1] - 0.3, 2);
+  };
+  const std::vector<double> x0 = {-3.0, -3.0};
+  const OptimResult r = minimize(f, x0, kLo2, kHi2);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-5);
+  EXPECT_NEAR(r.x[1], 0.3, 1e-5);
+}
+
+TEST(Minimize, StartingAtLowerBoundLikeThePaper) {
+  // The paper's MLE protocol starts at the box's lower corner.
+  auto f = [](std::span<const double> x) {
+    return std::pow(x[0] - 1.0, 2) + std::pow(x[1] - 0.1, 2);
+  };
+  const std::vector<double> lo = {0.01, 0.01}, hi = {2.0, 2.0};
+  const std::vector<double> x0 = {0.011, 0.011};
+  const OptimResult r = minimize(f, x0, lo, hi);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.x[1], 0.1, 1e-5);
+}
+
+TEST(Minimize, ReportsEvaluationBudget) {
+  OptimOptions opts;
+  opts.max_evaluations = 50;
+  const std::vector<double> x0 = {3.0, 3.0};
+  const OptimResult r = minimize_nelder_mead(rosenbrock, x0, kLo2, kHi2, opts);
+  EXPECT_LE(r.evaluations, 55);  // a few trailing evals past the budget check
+  EXPECT_GT(r.evaluations, 0);
+}
+
+class ConvergenceFromCorners
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(ConvergenceFromCorners, SphereFromEveryCorner) {
+  const auto [x, y] = GetParam();
+  const std::vector<double> x0 = {x, y};
+  const OptimResult r = minimize(sphere, x0, kLo2, kHi2);
+  EXPECT_LT(r.fx, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, ConvergenceFromCorners,
+    ::testing::Values(std::pair{-5.0, -5.0}, std::pair{-5.0, 5.0},
+                      std::pair{5.0, -5.0}, std::pair{5.0, 5.0},
+                      std::pair{0.0, 0.0}));
+
+}  // namespace
+}  // namespace mpgeo

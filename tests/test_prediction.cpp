@@ -1,0 +1,243 @@
+// Tests for kriging prediction (exact and mixed-precision) and the
+// mixed-precision iterative-refinement solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/mp_prediction.hpp"
+#include "core/tiled_covariance.hpp"
+#include "linalg/reference.hpp"
+#include "stats/field.hpp"
+#include "stats/kriging.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+namespace {
+
+struct World {
+  LocationSet observed;
+  LocationSet targets;
+  std::vector<double> z_observed;
+  std::vector<double> z_targets;
+};
+
+/// Sample one field jointly over observed + target sites so the held-out
+/// truth is consistent with the observations.
+World make_world(const Covariance& cov, const std::vector<double>& theta,
+                 std::size_t n_obs, std::size_t n_tgt, std::uint64_t seed) {
+  Rng rng(seed);
+  LocationSet all = generate_locations(n_obs + n_tgt, 2, rng);
+  std::vector<double> z = sample_field(cov, all, theta, rng);
+  World w;
+  w.observed.dim = w.targets.dim = 2;
+  // Interleave to avoid spatial bias between observed and target sets.
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const bool target = (i % (all.size() / n_tgt + 1)) == 0 &&
+                        w.targets.coords.size() / 2 < n_tgt;
+    auto& set = target ? w.targets : w.observed;
+    auto& zs = target ? w.z_targets : w.z_observed;
+    set.coords.push_back(all.coords[2 * i]);
+    set.coords.push_back(all.coords[2 * i + 1]);
+    zs.push_back(z[i]);
+  }
+  return w;
+}
+
+TEST(Kriging, InterpolatesObservationsWithTinyNugget) {
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.1};
+  Rng rng(3);
+  LocationSet obs = generate_locations(120, 2, rng);
+  std::vector<double> z = sample_field(cov, obs, theta, rng);
+  // Predict back at the observed sites: with nugget -> 0 this interpolates.
+  const KrigingResult r = krige(cov, obs, z, obs, theta, 1e-10);
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    EXPECT_NEAR(r.mean[i], z[i], 1e-3 * (1.0 + std::fabs(z[i])));
+    EXPECT_LT(r.variance[i], 1e-4);  // ~no uncertainty at a measured site
+  }
+}
+
+TEST(Kriging, BeatsZeroPredictorOnHeldOutSites) {
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.1};
+  World w = make_world(cov, theta, 260, 40, 7);
+  const KrigingResult r =
+      krige(cov, w.observed, w.z_observed, w.targets, theta);
+  const double err = mspe(r.mean, w.z_targets);
+  // The zero predictor's MSPE is ~sigma2 = 1; kriging must do much better
+  // under moderate correlation.
+  EXPECT_LT(err, 0.5);
+  // Variance is a sane uncertainty estimate: within [0, sigma2].
+  for (double v : r.variance) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+TEST(Kriging, VarianceGrowsWithDistanceFromData) {
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.02};
+  Rng rng(11);
+  // Observations clustered in the lower-left quadrant.
+  LocationSet obs = generate_locations(100, 2, rng);
+  for (auto& c : obs.coords) c *= 0.4;
+  std::vector<double> z = sample_field(cov, obs, theta, rng);
+  LocationSet near, far;
+  near.dim = far.dim = 2;
+  near.coords = {0.2, 0.2};
+  far.coords = {0.95, 0.95};
+  const KrigingResult rn = krige(cov, obs, z, near, theta);
+  const KrigingResult rf = krige(cov, obs, z, far, theta);
+  EXPECT_LT(rn.variance[0], rf.variance[0]);
+  EXPECT_NEAR(rf.variance[0], 1.0, 1e-6);  // far site: prior variance
+}
+
+TEST(Kriging, ValidatesInputs) {
+  const Covariance cov(CovKind::SqExp);
+  Rng rng(1);
+  LocationSet obs = generate_locations(10, 2, rng);
+  LocationSet t3d = generate_locations(4, 3, rng);
+  std::vector<double> z(10, 0.0);
+  EXPECT_THROW(krige(cov, obs, z, t3d, std::vector<double>{1.0, 0.1}), Error);
+  std::vector<double> z_short(5, 0.0);
+  LocationSet t2d = generate_locations(4, 2, rng);
+  EXPECT_THROW(krige(cov, obs, z_short, t2d, std::vector<double>{1.0, 0.1}),
+               Error);
+}
+
+TEST(Mspe, Definition) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {0.0, 4.0};
+  EXPECT_DOUBLE_EQ(mspe(a, b), (1.0 + 4.0) / 2.0);
+  EXPECT_THROW(mspe(a, std::vector<double>{1.0}), Error);
+}
+
+TEST(MpKrige, MatchesExactKrigingAtTightAccuracy) {
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.1};
+  World w = make_world(cov, theta, 200, 20, 13);
+  const KrigingResult exact =
+      krige(cov, w.observed, w.z_observed, w.targets, theta);
+  MpKrigeOptions opts;
+  opts.u_req = 1e-12;
+  opts.tile = 50;
+  const KrigingResult mp =
+      mp_krige(cov, w.observed, w.z_observed, w.targets, theta, opts);
+  for (std::size_t j = 0; j < w.targets.size(); ++j) {
+    EXPECT_NEAR(mp.mean[j], exact.mean[j], 1e-5 * (1 + std::fabs(exact.mean[j])));
+    EXPECT_NEAR(mp.variance[j], exact.variance[j], 1e-5);
+  }
+}
+
+TEST(MpKrige, ModerateAccuracyStillPredictsWell) {
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.05};
+  World w = make_world(cov, theta, 240, 30, 17);
+  MpKrigeOptions opts;
+  opts.u_req = 1e-8;
+  opts.tile = 60;
+  // A visible nugget keeps the smooth kernel's spectrum clear of the
+  // reduced-precision perturbations (same conditioning story as the MLE).
+  opts.nugget = 1e-4;
+  const KrigingResult mp =
+      mp_krige(cov, w.observed, w.z_observed, w.targets, theta, opts);
+  EXPECT_LT(mspe(mp.mean, w.z_targets), 0.6);
+}
+
+TEST(SymvTiled, MatchesDenseMultiply) {
+  Rng rng(23);
+  LocationSet locs = generate_locations(130, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.1};
+  TileMatrix tiles = build_tiled_covariance(cov, locs, theta, 32);
+  Matrix<double> dense = covariance_matrix(cov, locs, theta);
+  std::vector<double> x(130);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const std::vector<double> y = symv_tiled(tiles, x);
+  for (std::size_t i = 0; i < 130; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < 130; ++j) acc += dense(i, j) * x[j];
+    EXPECT_NEAR(y[i], acc, 1e-11 * (1 + std::fabs(acc)));
+  }
+}
+
+TEST(CholeskySolveTiled, SolvesAgainstDenseOracle) {
+  Rng rng(29);
+  LocationSet locs = generate_locations(140, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.08};
+  TileMatrix tiles = build_tiled_covariance(cov, locs, theta, 35);
+  Matrix<double> dense = covariance_matrix(cov, locs, theta);
+  const auto fac = fp64_cholesky(tiles);
+  ASSERT_EQ(fac.info, 0);
+  std::vector<double> b(140);
+  for (auto& v : b) v = rng.normal();
+  std::vector<double> x = b;
+  cholesky_solve_tiled(tiles, x);
+  // Verify Sigma x == b.
+  for (std::size_t i = 0; i < 140; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < 140; ++j) acc += dense(i, j) * x[j];
+    // The solve's forward error is amplified by cond(Sigma); 1e-6 relative
+    // is the FP64 expectation for this moderately conditioned kernel.
+    EXPECT_NEAR(acc, b[i], 1e-6 * (1 + std::fabs(b[i])));
+  }
+}
+
+TEST(Refinement, RecoversFp64AccuracyFromLooseFactor) {
+  Rng rng(31);
+  LocationSet locs = generate_locations(160, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.03};
+  // Generous nugget keeps the loose factor a contraction.
+  TileMatrix tiles = build_tiled_covariance(cov, locs, theta, 40, 1e-2);
+  std::vector<double> b(160);
+  for (auto& v : b) v = rng.normal();
+  RefinementOptions opts;
+  opts.factor_u_req = 1e-3;  // coarse, cheap factorization
+  opts.tolerance = 1e-12;
+  const RefinementResult r = mp_solve_refined(tiles, b, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.relative_residual, 1e-12);
+  EXPECT_GT(r.iterations, 0);   // the loose factor alone is NOT enough
+  EXPECT_LT(r.iterations, 40);  // but refinement converges quickly
+  // The factorization really used reduced precision somewhere.
+  double low = 0.0;
+  for (const auto& [p, f] : r.factorization.pmap.tile_fractions()) {
+    if (p != Precision::FP64) low += f;
+  }
+  EXPECT_GT(low, 0.2);
+}
+
+TEST(Refinement, TightFactorConvergesInstantly) {
+  Rng rng(37);
+  LocationSet locs = generate_locations(120, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.05};
+  TileMatrix tiles = build_tiled_covariance(cov, locs, theta, 30, 1e-4);
+  std::vector<double> b(120, 1.0);
+  RefinementOptions opts;
+  opts.factor_u_req = 1e-14;  // effectively FP64 factor
+  opts.tolerance = 1e-10;
+  const RefinementResult r = mp_solve_refined(tiles, b, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+}
+
+TEST(Refinement, ValidatesInputs) {
+  Rng rng(1);
+  LocationSet locs = generate_locations(40, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  TileMatrix tiles =
+      build_tiled_covariance(cov, locs, std::vector<double>{1.0, 0.05}, 20);
+  std::vector<double> wrong_size(10, 1.0);
+  EXPECT_THROW(mp_solve_refined(tiles, wrong_size, {}), Error);
+  std::vector<double> zero(40, 0.0);
+  EXPECT_THROW(mp_solve_refined(tiles, zero, {}), Error);
+}
+
+}  // namespace
+}  // namespace mpgeo

@@ -1,0 +1,344 @@
+// Tests for src/runtime: dataflow dependence analysis, DAG invariants,
+// asynchronous execution correctness (ordering, determinism, exceptions).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <vector>
+
+
+#include "common/error.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/task_graph.hpp"
+#include "runtime/trace.hpp"
+
+namespace mpgeo {
+namespace {
+
+DataInfo datum(const std::string& name, std::size_t bytes = 64) {
+  DataInfo d;
+  d.name = name;
+  d.bytes = bytes;
+  return d;
+}
+
+TaskInfo named(const std::string& name) {
+  TaskInfo t;
+  t.name = name;
+  return t;
+}
+
+TEST(TaskGraph, ReadAfterWriteCreatesEdge) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  const TaskId w = g.add_task(named("w"), {{x, AccessMode::Write}});
+  const TaskId r = g.add_task(named("r"), {{x, AccessMode::Read}});
+  ASSERT_EQ(g.task(w).successors.size(), 1u);
+  EXPECT_EQ(g.task(w).successors[0], r);
+  EXPECT_EQ(g.task(r).num_predecessors, 1u);
+  g.validate();
+}
+
+TEST(TaskGraph, IndependentReadsDoNotDependOnEachOther) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  g.add_task(named("w"), {{x, AccessMode::Write}});
+  const TaskId r1 = g.add_task(named("r1"), {{x, AccessMode::Read}});
+  const TaskId r2 = g.add_task(named("r2"), {{x, AccessMode::Read}});
+  EXPECT_EQ(g.task(r1).num_predecessors, 1u);
+  EXPECT_EQ(g.task(r2).num_predecessors, 1u);
+  EXPECT_TRUE(g.task(r1).successors.empty());
+  g.validate();
+}
+
+TEST(TaskGraph, WriteAfterReadWaitsForAllReaders) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  g.add_task(named("w0"), {{x, AccessMode::Write}});
+  g.add_task(named("r1"), {{x, AccessMode::Read}});
+  g.add_task(named("r2"), {{x, AccessMode::Read}});
+  const TaskId w1 = g.add_task(named("w1"), {{x, AccessMode::Write}});
+  // w1 depends on w0 (last writer) + r1 + r2 (readers since).
+  EXPECT_EQ(g.task(w1).num_predecessors, 3u);
+  g.validate();
+}
+
+TEST(TaskGraph, ReadWriteChainsSerialize) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  TaskId prev = g.add_task(named("t0"), {{x, AccessMode::ReadWrite}});
+  for (int i = 1; i < 5; ++i) {
+    const TaskId t =
+        g.add_task(named("t" + std::to_string(i)), {{x, AccessMode::ReadWrite}});
+    EXPECT_EQ(g.task(t).num_predecessors, 1u);
+    EXPECT_EQ(g.task(prev).successors[0], t);
+    prev = t;
+  }
+  g.validate();
+}
+
+TEST(TaskGraph, MultipleAccessesToSamePredecessorDedupe) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  const DataId y = g.add_data(datum("y"));
+  const TaskId w = g.add_task(
+      named("w"), {{x, AccessMode::Write}, {y, AccessMode::Write}});
+  const TaskId r = g.add_task(
+      named("r"), {{x, AccessMode::Read}, {y, AccessMode::Read}});
+  EXPECT_EQ(g.task(w).successors.size(), 1u);  // deduped
+  EXPECT_EQ(g.task(r).num_predecessors, 1u);   // consistent with dedup
+  g.validate();
+}
+
+TEST(TaskGraph, RootsAreTasksWithoutPredecessors) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  const DataId y = g.add_data(datum("y"));
+  const TaskId a = g.add_task(named("a"), {{x, AccessMode::Write}});
+  const TaskId b = g.add_task(named("b"), {{y, AccessMode::Write}});
+  g.add_task(named("c"), {{x, AccessMode::Read}, {y, AccessMode::Read}});
+  const auto roots = g.roots();
+  EXPECT_EQ(roots, (std::vector<TaskId>{a, b}));
+}
+
+TEST(TaskGraph, EdgeBytesPrefersProducerWireFormat) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x", 800));
+  TaskInfo info = named("w");
+  info.wire_bytes = 200;  // e.g. FP16 wire for an FP64 datum
+  g.add_task(info, {{x, AccessMode::Write}});
+  g.add_task(named("r"), {{x, AccessMode::Read}});
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edge_bytes(g.edges()[0]), 200u);
+}
+
+TEST(TaskGraph, EdgeBytesFallsBackToDatumSize) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x", 800));
+  g.add_task(named("w"), {{x, AccessMode::Write}});
+  g.add_task(named("r"), {{x, AccessMode::Read}});
+  EXPECT_EQ(g.edge_bytes(g.edges()[0]), 800u);
+}
+
+TEST(TaskGraph, UnknownDataIdRejected) {
+  TaskGraph g;
+  EXPECT_THROW(g.add_task(named("bad"), {{42, AccessMode::Read}}), Error);
+}
+
+TEST(Executor, RunsEveryBodyExactlyOnce) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) {
+    g.add_task(named("t"), {{x, AccessMode::ReadWrite}},
+               [&count] { count.fetch_add(1); });
+  }
+  const ExecutionReport rep = execute(g, {4, false});
+  EXPECT_EQ(count.load(), 64);
+  EXPECT_EQ(rep.tasks_run, 64u);
+}
+
+TEST(Executor, RespectsDependencyOrder) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  std::mutex mu;
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    g.add_task(named("t"), {{x, AccessMode::ReadWrite}}, [&, i] {
+      std::lock_guard lk(mu);
+      order.push_back(i);
+    });
+  }
+  execute(g, {8, false});
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Executor, ParallelTasksOverlap) {
+  // A diamond: source -> {a, b, c, d} -> sink. The middle tasks are
+  // independent and must all run; we verify via a concurrent counter that
+  // at least the bodies all executed (true overlap is scheduling-dependent).
+  TaskGraph g;
+  std::vector<DataId> mids;
+  const DataId src = g.add_data(datum("src"));
+  g.add_task(named("source"), {{src, AccessMode::Write}});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    const DataId m = g.add_data(datum("m" + std::to_string(i)));
+    mids.push_back(m);
+    g.add_task(named("mid"), {{src, AccessMode::Read}, {m, AccessMode::Write}},
+               [&ran] { ran.fetch_add(1); });
+  }
+  std::vector<Access> sink_accesses;
+  for (DataId m : mids) sink_accesses.push_back({m, AccessMode::Read});
+  bool sink_ran = false;
+  g.add_task(named("sink"), sink_accesses, [&] {
+    EXPECT_EQ(ran.load(), 4);  // all mids retired before the sink
+    sink_ran = true;
+  });
+  execute(g, {4, false});
+  EXPECT_TRUE(sink_ran);
+}
+
+TEST(Executor, PropagatesFirstException) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  g.add_task(named("ok"), {{x, AccessMode::ReadWrite}}, [] {});
+  g.add_task(named("boom"), {{x, AccessMode::ReadWrite}},
+             [] { throw Error("boom"); });
+  g.add_task(named("after"), {{x, AccessMode::ReadWrite}}, [] {});
+  EXPECT_THROW(execute(g, {2, false}), Error);
+}
+
+TEST(Executor, NullBodiesRetireAndGateSuccessors) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  g.add_task(named("ghost"), {{x, AccessMode::Write}});  // no body
+  bool ran = false;
+  g.add_task(named("real"), {{x, AccessMode::Read}}, [&] { ran = true; });
+  execute(g, {2, false});
+  EXPECT_TRUE(ran);
+}
+
+TEST(Executor, EmptyGraphIsFine) {
+  TaskGraph g;
+  const ExecutionReport rep = execute(g);
+  EXPECT_EQ(rep.tasks_run, 0u);
+}
+
+TEST(Executor, TraceCapturesEveryTaskWithSaneTimes) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  for (int i = 0; i < 10; ++i) {
+    g.add_task(named("t"), {{x, AccessMode::ReadWrite}}, [] {});
+  }
+  ExecutorOptions opts;
+  opts.num_threads = 2;
+  opts.capture_trace = true;
+  const ExecutionReport rep = execute(g, opts);
+  ASSERT_EQ(rep.trace.size(), 10u);
+  std::set<TaskId> seen;
+  for (const auto& e : rep.trace) {
+    EXPECT_LE(e.start_seconds, e.end_seconds);
+    EXPECT_LE(e.end_seconds, rep.wall_seconds + 1e-3);
+    seen.insert(e.task);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Executor, PriorityAndLifoGiveSameResults) {
+  // Scheduling policy must not change numerics — dataflow edges order every
+  // conflicting pair.
+  auto run = [](bool priorities) {
+    TaskGraph g;
+    const DataId x = g.add_data(datum("x"));
+    auto value = std::make_shared<double>(1.0);
+    for (int i = 1; i <= 10; ++i) {
+      TaskInfo info = named("t" + std::to_string(i));
+      info.kind = (i % 2) ? KernelKind::GEMM : KernelKind::TRSM;
+      info.tk = i;
+      g.add_task(info, {{x, AccessMode::ReadWrite}},
+                 [value, i] { *value = *value * 1.25 + i; });
+    }
+    ExecutorOptions opts;
+    opts.num_threads = 4;
+    opts.use_priorities = priorities;
+    execute(g, opts);
+    return *value;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Executor, PrioritiesPickPanelTasksFirst) {
+  // With one worker and a pre-filled ready set, the panel task must run
+  // before the queued trailing updates despite being inserted last.
+  TaskGraph g;
+  std::mutex mu;
+  std::vector<std::string> order;
+  auto record = [&](const std::string& name) {
+    std::lock_guard lk(mu);
+    order.push_back(name);
+  };
+  for (int i = 0; i < 3; ++i) {
+    const DataId d = g.add_data(datum("g" + std::to_string(i)));
+    TaskInfo info = named("gemm" + std::to_string(i));
+    info.kind = KernelKind::GEMM;
+    g.add_task(info, {{d, AccessMode::Write}},
+               [&record, i] { record("gemm" + std::to_string(i)); });
+  }
+  const DataId p = g.add_data(datum("p"));
+  TaskInfo panel = named("potrf");
+  panel.kind = KernelKind::POTRF;
+  g.add_task(panel, {{p, AccessMode::Write}}, [&record] { record("potrf"); });
+  ExecutorOptions opts;
+  opts.num_threads = 1;
+  opts.use_priorities = true;
+  execute(g, opts);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), "potrf");
+}
+
+TEST(Trace, ChromeTraceContainsEveryTask) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  for (int i = 0; i < 5; ++i) {
+    TaskInfo info = named("task_" + std::to_string(i));
+    info.kind = KernelKind::GEMM;
+    g.add_task(info, {{x, AccessMode::ReadWrite}}, [] {});
+  }
+  ExecutorOptions opts;
+  opts.capture_trace = true;
+  const ExecutionReport rep = execute(g, opts);
+  std::ostringstream os;
+  write_chrome_trace(rep, g, os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NE(json.find("task_" + std::to_string(i)), std::string::npos);
+  }
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"GEMM\""), std::string::npos);
+}
+
+TEST(Trace, RequiresCapturedTrace) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  g.add_task(named("t"), {{x, AccessMode::Write}}, [] {});
+  const ExecutionReport rep = execute(g, {});  // no trace captured
+  std::ostringstream os;
+  EXPECT_THROW(write_chrome_trace(rep, g, os), Error);
+}
+
+TEST(Trace, EscapesSpecialCharacters) {
+  TaskGraph g;
+  const DataId x = g.add_data(datum("x"));
+  g.add_task(named("weird\"name\\here"), {{x, AccessMode::Write}}, [] {});
+  ExecutorOptions opts;
+  opts.capture_trace = true;
+  const ExecutionReport rep = execute(g, opts);
+  std::ostringstream os;
+  write_chrome_trace(rep, g, os);
+  EXPECT_NE(os.str().find("weird\\\"name\\\\here"), std::string::npos);
+}
+
+TEST(Executor, SingleThreadMatchesMultiThreadResult) {
+  // Same reduction through a dependency chain must give identical results
+  // regardless of worker count (dataflow edges order all conflicts).
+  auto run = [](std::size_t threads) {
+    TaskGraph g;
+    const DataId x = g.add_data(datum("x"));
+    auto value = std::make_shared<double>(1.0);
+    for (int i = 1; i <= 12; ++i) {
+      g.add_task(named("t"), {{x, AccessMode::ReadWrite}},
+                 [value, i] { *value = *value * 1.5 + i; });
+    }
+    execute(g, {threads, false});
+    return *value;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+}  // namespace
+}  // namespace mpgeo

@@ -1,0 +1,90 @@
+// Tests for the sampled tile-norm estimator that builds paper-scale
+// precision maps without generating the full covariance matrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/sampled_norms.hpp"
+#include "core/tiled_covariance.hpp"
+
+namespace mpgeo {
+namespace {
+
+TEST(SampledNorms, ConvergesToExactNorms) {
+  Rng rng(7);
+  LocationSet locs = generate_locations(480, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.1};
+  const std::size_t nt = 8, nb = 60;
+  TileMatrix exact = build_tiled_covariance(cov, locs, theta, nb, 0.0);
+
+  Rng srng(11);
+  const SampledNorms est =
+      sample_tile_norms(cov, locs, theta, nt, nb, 4096, srng);
+  ASSERT_EQ(est.nt, nt);
+  // Global norm within a few percent.
+  EXPECT_NEAR(est.global_norm / exact.frobenius_norm(), 1.0, 0.05);
+  // Every tile norm within ~15% (Monte-Carlo error at 4096 samples) or
+  // absolutely tiny (far tiles whose entries underflow the estimate).
+  for (std::size_t m = 0; m < nt; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      const double e = exact.tile(m, k).frobenius_norm();
+      const double s = est.tile_norms[m * (m + 1) / 2 + k];
+      if (e > 1e-6) {
+        EXPECT_NEAR(s / e, 1.0, 0.20) << m << "," << k;
+      } else {
+        EXPECT_LT(s, 1e-4);
+      }
+    }
+  }
+}
+
+TEST(SampledNorms, MapMatchesExactMapAlmostEverywhere) {
+  Rng rng(9);
+  LocationSet locs = generate_locations(480, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.05};
+  const std::size_t nt = 8, nb = 60;
+  TileMatrix tiles = build_tiled_covariance(cov, locs, theta, nb);
+  const auto ladder = default_precision_ladder();
+  const PrecisionMap exact = build_precision_map(tiles, 1e-4, ladder);
+  Rng srng(13);
+  const PrecisionMap sampled = sampled_precision_map(
+      cov, locs, theta, nt, nb, 1e-4, ladder, 2048, srng);
+  int disagreements = 0;
+  for (std::size_t m = 0; m < nt; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      if (exact.kernel(m, k) != sampled.kernel(m, k)) ++disagreements;
+    }
+  }
+  // Threshold effects may flip a tile or two near the precision boundary.
+  EXPECT_LE(disagreements, 4);
+}
+
+TEST(SampledNorms, DiagonalNormsExactForDiagonalDominatedTiles) {
+  // Weak correlation: diagonal tile norms are essentially sqrt(nb)*sigma2.
+  Rng rng(15);
+  LocationSet locs = generate_locations(400, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {2.0, 1e-4};
+  Rng srng(3);
+  const SampledNorms est = sample_tile_norms(cov, locs, theta, 4, 100, 512, srng);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(est.tile_norms[k * (k + 1) / 2 + k], 2.0 * std::sqrt(100.0),
+                0.2);
+  }
+}
+
+TEST(SampledNorms, Validation) {
+  Rng rng(1);
+  LocationSet locs = generate_locations(50, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.1};
+  EXPECT_THROW(sample_tile_norms(cov, locs, theta, 4, 20, 16, rng), Error);
+  EXPECT_THROW(sample_tile_norms(cov, locs, theta, 2, 20, 0, rng), Error);
+}
+
+}  // namespace
+}  // namespace mpgeo

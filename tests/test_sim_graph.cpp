@@ -1,0 +1,250 @@
+// Tests for the simulation graph builder: task counts of Algorithm 1,
+// block-cyclic mapping, STC conversion tasks and wire annotations, and
+// end-to-end simulated invariants (STC <= TTC time, MP <= FP64 time).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/comm_map.hpp"
+#include "core/precision_map.hpp"
+#include "core/sim_graph.hpp"
+#include "gpusim/sim_executor.hpp"
+
+namespace mpgeo {
+namespace {
+
+PrecisionMap uniform_map(std::size_t nt, Precision off) {
+  PrecisionMap map(nt, Precision::FP64);
+  for (std::size_t m = 0; m < nt; ++m)
+    for (std::size_t k = 0; k < m; ++k) map.set_kernel(m, k, off);
+  return map;
+}
+
+std::map<KernelKind, int> kind_counts(const TaskGraph& g) {
+  std::map<KernelKind, int> counts;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) counts[g.task(t).info.kind]++;
+  return counts;
+}
+
+TEST(ProcessGrid, AsSquareAsPossible) {
+  EXPECT_EQ(process_grid(1), (std::pair{1, 1}));
+  EXPECT_EQ(process_grid(6), (std::pair{2, 3}));
+  EXPECT_EQ(process_grid(8), (std::pair{2, 4}));
+  EXPECT_EQ(process_grid(16), (std::pair{4, 4}));
+  EXPECT_EQ(process_grid(384), (std::pair{16, 24}));
+  EXPECT_EQ(process_grid(7), (std::pair{1, 7}));  // prime: 1 x 7
+  const auto [p, q] = process_grid(384);
+  EXPECT_LE(p, q);
+}
+
+TEST(TileOwner, CoversAllDevicesCyclically) {
+  const int devices = 6;
+  std::map<int, int> hits;
+  for (std::size_t m = 0; m < 12; ++m)
+    for (std::size_t k = 0; k <= m; ++k) {
+      const int d = tile_owner(m, k, devices);
+      ASSERT_GE(d, 0);
+      ASSERT_LT(d, devices);
+      hits[d]++;
+    }
+  EXPECT_EQ(int(hits.size()), devices);  // every device owns some tiles
+}
+
+TEST(SimGraph, TaskCountsMatchAlgorithmOne) {
+  const std::size_t nt = 6;
+  const PrecisionMap pmap = uniform_map(nt, Precision::FP64);
+  const CommMap cmap = build_comm_map(pmap);
+  SimGraphOptions opts;
+  opts.device_side_generation = false;
+  const TaskGraph g =
+      build_cholesky_sim_graph(pmap, cmap, single_gpu(GpuModel::V100), opts);
+  const auto counts = kind_counts(g);
+  EXPECT_EQ(counts.at(KernelKind::POTRF), int(nt));
+  EXPECT_EQ(counts.at(KernelKind::TRSM), int(nt * (nt - 1) / 2));
+  EXPECT_EQ(counts.at(KernelKind::SYRK), int(nt * (nt - 1) / 2));
+  EXPECT_EQ(counts.at(KernelKind::GEMM), int(nt * (nt - 1) * (nt - 2) / 6));
+  EXPECT_EQ(counts.count(KernelKind::CONVERT), 0u);  // all-FP64: no STC
+  g.validate();
+}
+
+TEST(SimGraph, GenerationTasksWhenEnabled) {
+  const std::size_t nt = 5;
+  const PrecisionMap pmap = uniform_map(nt, Precision::FP64);
+  const CommMap cmap = build_comm_map(pmap);
+  const TaskGraph g =
+      build_cholesky_sim_graph(pmap, cmap, single_gpu(GpuModel::V100), {});
+  EXPECT_EQ(kind_counts(g).at(KernelKind::GENERATE), int(nt * (nt + 1) / 2));
+}
+
+TEST(SimGraph, StcFoldsSenderConversionIntoProducers) {
+  const std::size_t nt = 6;
+  const PrecisionMap pmap = uniform_map(nt, Precision::FP16);
+  const CommMap cmap = build_comm_map(pmap);
+  SimGraphOptions opts;
+  opts.tile = 1024;
+  opts.device_side_generation = false;
+  const TaskGraph g =
+      build_cholesky_sim_graph(pmap, cmap, single_gpu(GpuModel::V100), opts);
+  // Sender-side conversion is part of the broadcast, not a separate task
+  // (a task would also gate same-device consumers, which the real
+  // communication engine does not).
+  EXPECT_EQ(kind_counts(g).count(KernelKind::CONVERT), 0u);
+  bool saw_fp16_wire = false, trsm_has_conv = false;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    const TaskInfo& info = g.task(t).info;
+    if (info.kind == KernelKind::TRSM) {
+      if (info.wire_bytes == 1024u * 1024 * 2) saw_fp16_wire = true;
+      if (info.extra_conv_bytes > 0) trsm_has_conv = true;
+    }
+  }
+  EXPECT_TRUE(saw_fp16_wire);   // panels broadcast at FP16 width
+  EXPECT_TRUE(trsm_has_conv);   // and pay the one sender-side conversion
+  g.validate();
+}
+
+TEST(SimGraph, TtcFoldsConversionIntoConsumers) {
+  const std::size_t nt = 6;
+  const PrecisionMap pmap = uniform_map(nt, Precision::FP16);
+  CommMapOptions copts;
+  copts.strategy = ConversionStrategy::AllTTC;
+  const CommMap cmap = build_comm_map(pmap, copts);
+  SimGraphOptions opts;
+  opts.device_side_generation = false;
+  const TaskGraph g =
+      build_cholesky_sim_graph(pmap, cmap, single_gpu(GpuModel::V100), opts);
+  EXPECT_EQ(kind_counts(g).count(KernelKind::CONVERT), 0u);
+  // FP16 GEMMs under TTC must carry receiver-side conversion bytes.
+  bool gemm_has_conv = false;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    const TaskInfo& info = g.task(t).info;
+    if (info.kind == KernelKind::GEMM && info.extra_conv_bytes > 0) {
+      gemm_has_conv = true;
+    }
+  }
+  EXPECT_TRUE(gemm_has_conv);
+}
+
+TEST(SimGraph, DevicesAssignedWithinCluster) {
+  const std::size_t nt = 8;
+  const PrecisionMap pmap = uniform_map(nt, Precision::FP32);
+  const CommMap cmap = build_comm_map(pmap);
+  const ClusterConfig cluster = summit_cluster(2);  // 12 GPUs
+  const TaskGraph g = build_cholesky_sim_graph(pmap, cmap, cluster, {});
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    ASSERT_GE(g.task(t).info.device, 0);
+    ASSERT_LT(g.task(t).info.device, cluster.total_gpus());
+  }
+}
+
+TEST(SimGraph, FlopsSumToCholeskyTotal) {
+  const std::size_t nt = 10, tile = 512;
+  const PrecisionMap pmap = uniform_map(nt, Precision::FP64);
+  const CommMap cmap = build_comm_map(pmap);
+  SimGraphOptions opts;
+  opts.tile = tile;
+  opts.device_side_generation = false;
+  const TaskGraph g =
+      build_cholesky_sim_graph(pmap, cmap, single_gpu(GpuModel::V100), opts);
+  double flops = 0;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) flops += g.task(t).info.flops;
+  EXPECT_NEAR(flops, cholesky_flops(nt * tile), 0.20 * cholesky_flops(nt * tile));
+}
+
+// --- End-to-end simulated shapes (small instances) ----------------------
+
+double simulate_cholesky(std::size_t nt, Precision off,
+                         ConversionStrategy strategy, GpuModel gpu,
+                         std::size_t tile = 2048) {
+  const PrecisionMap pmap = uniform_map(nt, off);
+  CommMapOptions copts;
+  copts.strategy = strategy;
+  const CommMap cmap = build_comm_map(pmap, copts);
+  SimGraphOptions opts;
+  opts.tile = tile;
+  const ClusterConfig cluster = single_gpu(gpu);
+  const TaskGraph g = build_cholesky_sim_graph(pmap, cmap, cluster, opts);
+  SimOptions sopts;
+  sopts.tile = tile;
+  return simulate(g, cluster, sopts).makespan_seconds;
+}
+
+TEST(SimCholesky, StcNeverSlowerThanTtc) {
+  for (Precision off : {Precision::FP16, Precision::FP16_32}) {
+    const double stc =
+        simulate_cholesky(16, off, ConversionStrategy::Auto, GpuModel::V100);
+    const double ttc =
+        simulate_cholesky(16, off, ConversionStrategy::AllTTC, GpuModel::V100);
+    EXPECT_LE(stc, ttc * 1.001) << to_string(off);
+  }
+}
+
+TEST(SimCholesky, StcSpeedupInPaperRange) {
+  // Fig 8: STC vs TTC up to ~1.3x on V100 / 1.41x on A100 for the extreme
+  // configurations on out-of-core sizes. Accept a broad band: > 5% and < 2x.
+  const double stc =
+      simulate_cholesky(24, Precision::FP16, ConversionStrategy::Auto,
+                        GpuModel::V100);
+  const double ttc =
+      simulate_cholesky(24, Precision::FP16, ConversionStrategy::AllTTC,
+                        GpuModel::V100);
+  const double speedup = ttc / stc;
+  EXPECT_GT(speedup, 1.02);
+  EXPECT_LT(speedup, 2.0);
+}
+
+TEST(SimCholesky, MixedPrecisionFasterThanFp64) {
+  const double fp64 = simulate_cholesky(16, Precision::FP64,
+                                        ConversionStrategy::Auto, GpuModel::V100);
+  const double fp16 = simulate_cholesky(16, Precision::FP16,
+                                        ConversionStrategy::Auto, GpuModel::V100);
+  EXPECT_GT(fp64 / fp16, 2.0);   // big win
+  EXPECT_LT(fp64 / fp16, 16.1);  // bounded by the tensor-core ratio
+}
+
+TEST(SimCholesky, NewerGpusAreFaster) {
+  const double v100 = simulate_cholesky(12, Precision::FP64,
+                                        ConversionStrategy::Auto, GpuModel::V100);
+  const double a100 = simulate_cholesky(12, Precision::FP64,
+                                        ConversionStrategy::Auto, GpuModel::A100);
+  const double h100 = simulate_cholesky(12, Precision::FP64,
+                                        ConversionStrategy::Auto, GpuModel::H100);
+  EXPECT_LT(a100, v100);
+  EXPECT_LT(h100, a100);
+}
+
+TEST(SimCholesky, FifoSchedulingNeverBeatsPriorities) {
+  const std::size_t nt = 20, tile = 2048;
+  const PrecisionMap pmap = uniform_map(nt, Precision::FP16_32);
+  const CommMap cmap = build_comm_map(pmap);
+  SimGraphOptions gopts;
+  gopts.tile = tile;
+  const ClusterConfig cluster = summit_cluster(1);
+  const TaskGraph g = build_cholesky_sim_graph(pmap, cmap, cluster, gopts);
+  SimOptions prio;
+  prio.tile = tile;
+  SimOptions fifo = prio;
+  fifo.priority_scheduling = false;
+  const double t_prio = simulate(g, cluster, prio).makespan_seconds;
+  const double t_fifo = simulate(g, cluster, fifo).makespan_seconds;
+  EXPECT_LE(t_prio, t_fifo * 1.02);  // priorities help (or tie) on this DAG
+}
+
+TEST(SimCholesky, MultiGpuNodeScalesDown) {
+  const std::size_t nt = 24, tile = 2048;
+  const PrecisionMap pmap = uniform_map(nt, Precision::FP64);
+  const CommMap cmap = build_comm_map(pmap);
+  SimGraphOptions opts;
+  opts.tile = tile;
+  SimOptions sopts;
+  sopts.tile = tile;
+  const TaskGraph g1 =
+      build_cholesky_sim_graph(pmap, cmap, guyot_node(1), opts);
+  const TaskGraph g4 =
+      build_cholesky_sim_graph(pmap, cmap, guyot_node(4), opts);
+  const double t1 = simulate(g1, guyot_node(1), sopts).makespan_seconds;
+  const double t4 = simulate(g4, guyot_node(4), sopts).makespan_seconds;
+  EXPECT_GT(t1 / t4, 2.0);  // at least half of linear scaling
+}
+
+}  // namespace
+}  // namespace mpgeo

@@ -1,0 +1,308 @@
+// Tests for src/stats: Bessel K_nu against closed forms and tabulated
+// values, covariance kernel properties (SPD, limits), location generation,
+// field sampling statistics, exact likelihood oracle behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/reference.hpp"
+#include "stats/besselk.hpp"
+#include "stats/covariance.hpp"
+#include "stats/field.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// K_{1/2}(x) = sqrt(pi / (2x)) e^{-x}
+double k_half(double x) { return std::sqrt(kPi / (2 * x)) * std::exp(-x); }
+// K_{3/2}(x) = sqrt(pi / (2x)) e^{-x} (1 + 1/x)
+double k_3half(double x) { return k_half(x) * (1.0 + 1.0 / x); }
+// K_{5/2}(x) = sqrt(pi / (2x)) e^{-x} (1 + 3/x + 3/x^2)
+double k_5half(double x) { return k_half(x) * (1.0 + 3.0 / x + 3.0 / (x * x)); }
+
+TEST(BesselK, HalfIntegerClosedFormsAcrossBothRegimes) {
+  // Cover the Temme series (x <= 2) and the CF2 branch (x > 2).
+  for (double x : {0.05, 0.3, 1.0, 1.9, 2.1, 5.0, 20.0, 100.0}) {
+    EXPECT_NEAR(bessel_k(0.5, x) / k_half(x), 1.0, 1e-12) << "x=" << x;
+    EXPECT_NEAR(bessel_k(1.5, x) / k_3half(x), 1.0, 1e-12) << "x=" << x;
+    EXPECT_NEAR(bessel_k(2.5, x) / k_5half(x), 1.0, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(BesselK, TabulatedIntegerOrderValues) {
+  // Reference values from Abramowitz & Stegun / mpmath (15 digits).
+  EXPECT_NEAR(bessel_k(0.0, 1.0), 0.421024438240708, 1e-13);
+  EXPECT_NEAR(bessel_k(1.0, 1.0), 0.601907230197235, 1e-13);
+  EXPECT_NEAR(bessel_k(0.0, 0.1), 2.427069024702017, 1e-12);
+  EXPECT_NEAR(bessel_k(1.0, 0.1), 9.853844780870606, 1e-11);
+  EXPECT_NEAR(bessel_k(2.0, 1.0), 1.624838898635177, 1e-12);
+  EXPECT_NEAR(bessel_k(0.0, 5.0), 3.691098334042594e-3, 1e-15);
+  EXPECT_NEAR(bessel_k(3.0, 2.5), 0.268227146393449, 1e-12);
+}
+
+TEST(BesselK, FractionalOrderAgainstRecurrenceIdentity) {
+  // K_{nu+1}(x) - K_{nu-1}(x) = (2 nu / x) K_nu(x) must hold to roundoff.
+  for (double nu : {0.2, 0.7, 1.3, 2.6}) {
+    for (double x : {0.4, 1.7, 3.5, 9.0}) {
+      const double lhs = bessel_k(nu + 1, x) - bessel_k(nu - 1 < 0 ? 1 - nu : nu - 1, x);
+      // K_{-a} == K_a, so reflect negative orders.
+      const double rhs = 2 * nu / x * bessel_k(nu, x);
+      EXPECT_NEAR(lhs / rhs, 1.0, 1e-10) << "nu=" << nu << " x=" << x;
+    }
+  }
+}
+
+TEST(BesselK, MonotoneDecreasingInX) {
+  double prev = bessel_k(0.8, 0.05);
+  for (double x = 0.1; x < 30.0; x += 0.37) {
+    const double cur = bessel_k(0.8, x);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(BesselK, LogVersionTracksPlainVersion) {
+  for (double nu : {0.5, 1.0, 1.8}) {
+    for (double x : {0.3, 2.0, 40.0}) {
+      EXPECT_NEAR(log_bessel_k(nu, x), std::log(bessel_k(nu, x)), 1e-10);
+    }
+  }
+}
+
+TEST(BesselK, LogVersionSurvivesUnderflowRange) {
+  // K_nu(800) underflows double; the log version must stay finite.
+  const double lv = log_bessel_k(0.5, 800.0);
+  EXPECT_TRUE(std::isfinite(lv));
+  // log K_{1/2}(x) = 0.5 log(pi/(2x)) - x.
+  EXPECT_NEAR(lv, 0.5 * std::log(kPi / 1600.0) - 800.0, 1e-9);
+}
+
+TEST(BesselK, DomainValidation) {
+  EXPECT_THROW(bessel_k(-0.5, 1.0), Error);
+  EXPECT_THROW(bessel_k(0.5, 0.0), Error);
+  EXPECT_THROW(bessel_k(0.5, -1.0), Error);
+}
+
+TEST(Covariance, SqExpBasicShape) {
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.5, 0.1};
+  EXPECT_DOUBLE_EQ(cov.value(0.0, theta), 1.5);
+  EXPECT_NEAR(cov.value(0.316227766, theta), 1.5 * std::exp(-1.0), 1e-9);
+  EXPECT_LT(cov.value(1.0, theta), 1e-4);
+  EXPECT_GT(cov.value(0.05, theta), cov.value(0.06, theta));
+}
+
+TEST(Covariance, MaternNuHalfIsExponential) {
+  // Matern with nu = 1/2: C(h) = sigma2 * exp(-h/beta).
+  const Covariance cov(CovKind::Matern);
+  const std::vector<double> theta = {2.0, 0.3, 0.5};
+  for (double h : {0.01, 0.1, 0.5, 1.0}) {
+    EXPECT_NEAR(cov.value(h, theta), 2.0 * std::exp(-h / 0.3), 1e-10) << h;
+  }
+}
+
+TEST(Covariance, MaternNu3HalvesClosedForm) {
+  // nu = 3/2: C(h) = sigma2 (1 + r) e^{-r}, r = h/beta.
+  const Covariance cov(CovKind::Matern);
+  const std::vector<double> theta = {1.0, 0.2, 1.5};
+  for (double h : {0.05, 0.2, 0.7}) {
+    const double r = h / 0.2;
+    EXPECT_NEAR(cov.value(h, theta), (1 + r) * std::exp(-r), 1e-10) << h;
+  }
+}
+
+TEST(Covariance, MaternContinuousAtZero) {
+  const Covariance cov(CovKind::Matern);
+  const std::vector<double> theta = {1.3, 0.1, 1.0};
+  EXPECT_DOUBLE_EQ(cov.value(0.0, theta), 1.3);
+  EXPECT_NEAR(cov.value(1e-9, theta), 1.3, 1e-6);
+}
+
+TEST(Covariance, PowExpSpecialCases) {
+  const Covariance cov(CovKind::PowExp);
+  // alpha = 1: exponential kernel; matches Matern nu = 1/2.
+  const Covariance matern(CovKind::Matern);
+  for (double h : {0.05, 0.2, 0.8}) {
+    EXPECT_NEAR(cov.value(h, std::vector<double>{1.0, 0.3, 1.0}),
+                matern.value(h, std::vector<double>{1.0, 0.3, 0.5}), 1e-10);
+  }
+  // alpha = 2: Gaussian; matches sqexp with beta' = beta^2.
+  const Covariance sqexp(CovKind::SqExp);
+  for (double h : {0.05, 0.2, 0.8}) {
+    EXPECT_NEAR(cov.value(h, std::vector<double>{1.0, 0.3, 2.0}),
+                sqexp.value(h, std::vector<double>{1.0, 0.09}), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(cov.value(0.0, std::vector<double>{1.5, 0.3, 1.3}), 1.5);
+}
+
+TEST(Covariance, PowExpRejectsAlphaAboveTwo) {
+  const Covariance cov(CovKind::PowExp);
+  EXPECT_THROW(cov.value(0.1, std::vector<double>{1.0, 0.3, 2.5}), Error);
+}
+
+TEST(Covariance, PowExpMatrixIsSpd) {
+  Rng rng(61);
+  LocationSet locs = generate_locations(90, 2, rng);
+  const Covariance cov(CovKind::PowExp);
+  Matrix<double> sigma =
+      covariance_matrix(cov, locs, std::vector<double>{1.0, 0.1, 1.5});
+  EXPECT_NO_THROW(cholesky_lower(sigma));
+}
+
+TEST(Covariance, ParameterValidation) {
+  const Covariance cov(CovKind::SqExp);
+  EXPECT_THROW(cov.value(1.0, std::vector<double>{1.0}), Error);
+  EXPECT_THROW(cov.value(1.0, std::vector<double>{1.0, -0.1}), Error);
+  EXPECT_THROW(cov.value(-1.0, std::vector<double>{1.0, 0.1}), Error);
+  EXPECT_EQ(cov.num_params(), 2u);
+  EXPECT_EQ(Covariance(CovKind::Matern).num_params(), 3u);
+}
+
+class CovarianceSpdTest
+    : public ::testing::TestWithParam<std::tuple<CovKind, double, int>> {};
+
+TEST_P(CovarianceSpdTest, CovarianceMatrixIsSpd) {
+  const auto [kind, beta, dim] = GetParam();
+  Rng rng(17);
+  LocationSet locs = generate_locations(100, dim, rng);
+  const Covariance cov(kind);
+  std::vector<double> theta = kind == CovKind::Matern
+                                  ? std::vector<double>{1.0, beta, 0.8}
+                                  : std::vector<double>{1.0, beta};
+  Matrix<double> sigma = covariance_matrix(cov, locs, theta);
+  EXPECT_NO_THROW(cholesky_lower(sigma));  // SPD iff Cholesky succeeds
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndRanges, CovarianceSpdTest,
+    ::testing::Combine(::testing::Values(CovKind::SqExp, CovKind::Matern),
+                       ::testing::Values(0.03, 0.1, 0.3),
+                       ::testing::Values(2, 3)));
+
+TEST(Covariance, TileMatchesFullMatrixBlock) {
+  Rng rng(23);
+  LocationSet locs = generate_locations(40, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.1};
+  Matrix<double> full = covariance_matrix(cov, locs, theta);
+  double tile[10 * 10];
+  covariance_tile(cov, locs, theta, 20, 10, 10, 10, tile, 10);
+  for (std::size_t j = 0; j < 10; ++j)
+    for (std::size_t i = 0; i < 10; ++i)
+      EXPECT_DOUBLE_EQ(tile[i + j * 10], full(20 + i, 10 + j));
+}
+
+TEST(Locations, GeneratesRequestedCountInUnitBox) {
+  Rng rng(5);
+  for (int dim : {2, 3}) {
+    LocationSet locs = generate_locations(123, dim, rng);
+    EXPECT_EQ(locs.size(), 123u);
+    for (double c : locs.coords) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 1.0);
+    }
+  }
+}
+
+TEST(Locations, NoDuplicates) {
+  Rng rng(6);
+  LocationSet locs = generate_locations(400, 2, rng);
+  std::set<std::pair<double, double>> seen;
+  for (std::size_t i = 0; i < locs.size(); ++i) {
+    seen.insert({locs.coords[2 * i], locs.coords[2 * i + 1]});
+  }
+  EXPECT_EQ(seen.size(), 400u);
+}
+
+TEST(Locations, DeterministicGivenSeed) {
+  Rng a(9), b(9);
+  LocationSet la = generate_locations(64, 2, a);
+  LocationSet lb = generate_locations(64, 2, b);
+  EXPECT_EQ(la.coords, lb.coords);
+}
+
+TEST(Locations, MortonSortImprovesIndexLocality) {
+  // After Morton sorting, consecutive indices should be spatially much
+  // closer on average than under a random permutation — this is what
+  // produces the diagonal-decay structure the precision map exploits.
+  Rng rng(31);
+  LocationSet sorted = generate_locations(400, 2, rng, true);
+  LocationSet shuffled = sorted;
+  // Fisher-Yates with our own RNG.
+  for (std::size_t i = shuffled.size() - 1; i > 0; --i) {
+    const std::size_t j = rng.uniform_index(i + 1);
+    for (int d = 0; d < 2; ++d) {
+      std::swap(shuffled.coords[i * 2 + d], shuffled.coords[j * 2 + d]);
+    }
+  }
+  auto mean_step = [](const LocationSet& l) {
+    double acc = 0;
+    for (std::size_t i = 0; i + 1 < l.size(); ++i) acc += l.distance(i, i + 1);
+    return acc / double(l.size() - 1);
+  };
+  EXPECT_LT(mean_step(sorted), 0.3 * mean_step(shuffled));
+}
+
+TEST(Locations, DistanceIsAMetric) {
+  Rng rng(3);
+  LocationSet locs = generate_locations(20, 3, rng);
+  EXPECT_DOUBLE_EQ(locs.distance(4, 4), 0.0);
+  EXPECT_DOUBLE_EQ(locs.distance(1, 7), locs.distance(7, 1));
+  EXPECT_LE(locs.distance(0, 2),
+            locs.distance(0, 1) + locs.distance(1, 2) + 1e-15);
+}
+
+TEST(Field, SampleVarianceMatchesSigma2) {
+  Rng rng(41);
+  LocationSet locs = generate_locations(200, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.7, 0.03};  // weak correlation
+  double acc = 0.0;
+  int count = 0;
+  for (int rep = 0; rep < 30; ++rep) {
+    Rng r = rng.spawn(rep);
+    const std::vector<double> z = sample_field(cov, locs, theta, r);
+    for (double v : z) {
+      acc += v * v;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(acc / count, 1.7, 0.15);
+}
+
+TEST(Field, ExactLikelihoodPeaksNearTruth) {
+  Rng rng(53);
+  LocationSet locs = generate_locations(150, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> truth = {1.0, 0.1};
+  // Average over replicates: E[l(theta_true)] >= E[l(theta)] for any theta.
+  double at_truth = 0, at_wrong1 = 0, at_wrong2 = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    Rng r = rng.spawn(100 + rep);
+    const std::vector<double> z = sample_field(cov, locs, truth, r);
+    at_truth += exact_log_likelihood(cov, locs, truth, z);
+    at_wrong1 += exact_log_likelihood(cov, locs, std::vector<double>{2.0, 0.1}, z);
+    at_wrong2 += exact_log_likelihood(cov, locs, std::vector<double>{1.0, 0.5}, z);
+  }
+  EXPECT_GT(at_truth, at_wrong1);
+  EXPECT_GT(at_truth, at_wrong2);
+}
+
+TEST(Field, LikelihoodRejectsSizeMismatch) {
+  Rng rng(1);
+  LocationSet locs = generate_locations(10, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  std::vector<double> z(5, 0.0);
+  EXPECT_THROW(
+      exact_log_likelihood(cov, locs, std::vector<double>{1.0, 0.1}, z), Error);
+}
+
+}  // namespace
+}  // namespace mpgeo

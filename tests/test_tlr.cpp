@@ -1,0 +1,187 @@
+// Tests for ACA low-rank compression and the TLR + mixed-precision matrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/tlr_matrix.hpp"
+#include "linalg/lowrank.hpp"
+#include "stats/covariance.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+namespace {
+
+/// An exactly rank-r matrix: A = sum of r outer products.
+std::vector<double> exact_rank_matrix(std::size_t m, std::size_t n,
+                                      std::size_t r, Rng& rng) {
+  std::vector<double> a(m * n, 0.0);
+  for (std::size_t t = 0; t < r; ++t) {
+    std::vector<double> u(m), v(n);
+    for (auto& x : u) x = rng.uniform(-1, 1);
+    for (auto& x : v) x = rng.uniform(-1, 1);
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < m; ++i) a[i + j * m] += u[i] * v[j];
+  }
+  return a;
+}
+
+TEST(Aca, RecoversExactLowRank) {
+  Rng rng(5);
+  for (std::size_t r : {1u, 2u, 5u}) {
+    const std::size_t m = 40, n = 32;
+    const std::vector<double> a = exact_rank_matrix(m, n, r, rng);
+    AcaOptions opts;
+    opts.tolerance = 1e-12;
+    const LowRankFactor f = compress_aca(a.data(), m, n, m, opts);
+    EXPECT_LE(f.rank, r + 2) << "rank inflation";
+    EXPECT_LT(lowrank_error(a.data(), m, n, m, f), 1e-10) << "r=" << r;
+  }
+}
+
+TEST(Aca, ToleranceControlsError) {
+  // Smooth covariance block: numerically low rank with fast decay.
+  Rng rng(7);
+  LocationSet locs = generate_locations(128, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.5};
+  std::vector<double> a(64 * 64);
+  covariance_tile(cov, locs, theta, 64, 0, 64, 64, a.data(), 64);
+  std::size_t prev_rank = 0;
+  for (double tol : {1e-2, 1e-5, 1e-9}) {
+    AcaOptions opts;
+    opts.tolerance = tol;
+    const LowRankFactor f = compress_aca(a.data(), 64, 64, 64, opts);
+    EXPECT_LT(lowrank_error(a.data(), 64, 64, 64, f), 50 * tol) << tol;
+    EXPECT_GE(f.rank, prev_rank);  // tighter tol -> rank grows
+    prev_rank = f.rank;
+    EXPECT_LT(f.rank, 48u);  // but stays below full rank even at 1e-9
+  }
+}
+
+TEST(Aca, FullRankFallbackIsExact) {
+  Rng rng(9);
+  const std::size_t n = 16;
+  std::vector<double> a(n * n);
+  for (auto& x : a) x = rng.uniform(-1, 1);  // generic: full rank
+  AcaOptions opts;
+  opts.tolerance = 1e-15;
+  const LowRankFactor f = compress_aca(a.data(), n, n, n, opts);
+  EXPECT_LT(lowrank_error(a.data(), n, n, n, f), 1e-9);
+}
+
+TEST(Aca, ZeroMatrixRepresentable) {
+  std::vector<double> a(12 * 8, 0.0);
+  const LowRankFactor f = compress_aca(a.data(), 12, 8, 12, {});
+  EXPECT_EQ(f.rank, 1u);
+  EXPECT_LT(lowrank_error(a.data(), 12, 8, 12, f), 1e-15);
+}
+
+TEST(Aca, MaxRankRespected) {
+  Rng rng(11);
+  std::vector<double> a(32 * 32);
+  for (auto& x : a) x = rng.uniform(-1, 1);
+  AcaOptions opts;
+  opts.tolerance = 1e-15;
+  opts.max_rank = 4;
+  const LowRankFactor f = compress_aca(a.data(), 32, 32, 32, opts);
+  EXPECT_LE(f.rank, 4u);
+}
+
+TEST(LowRankFactor, MatvecAndDenseAgree) {
+  Rng rng(13);
+  const std::vector<double> a = exact_rank_matrix(20, 14, 3, rng);
+  const LowRankFactor f = compress_aca(a.data(), 20, 14, 20, {});
+  std::vector<double> x(14), y(20, 1.0);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  f.matvec(2.0, x, 0.5, y);
+  for (std::size_t i = 0; i < 20; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < 14; ++j) acc += a[i + j * 20] * x[j];
+    EXPECT_NEAR(y[i], 2.0 * acc + 0.5, 1e-10);
+  }
+}
+
+TEST(LowRankFactor, StorageRoundingBoundedByFormat) {
+  Rng rng(17);
+  const std::vector<double> a = exact_rank_matrix(16, 16, 2, rng);
+  LowRankFactor f = compress_aca(a.data(), 16, 16, 16, {});
+  const double before = lowrank_error(a.data(), 16, 16, 16, f);
+  f.round_through_storage(Storage::FP32);
+  const double after = lowrank_error(a.data(), 16, 16, 16, f);
+  EXPECT_LT(after, before + 1e-5);  // fp32 rounding is a small perturbation
+}
+
+class TlrMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(23);
+    locs_ = generate_locations(300, 2, rng);
+    theta_ = {1.0, 0.1};
+  }
+  LocationSet locs_;
+  std::vector<double> theta_;
+  const Covariance cov_{CovKind::SqExp};
+};
+
+TEST_F(TlrMatrixTest, MatvecMatchesDenseWithinTolerance) {
+  TlrOptions opts;
+  opts.u_req = 1e-8;
+  opts.tile = 50;
+  const TlrMatrix tlr(cov_, locs_, theta_, opts);
+  Matrix<double> dense = covariance_matrix(cov_, locs_, theta_, opts.nugget);
+  Rng rng(29);
+  std::vector<double> x(300);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const std::vector<double> y = tlr.matvec(x);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < 300; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < 300; ++j) acc += dense(i, j) * x[j];
+    num += (y[i] - acc) * (y[i] - acc);
+    den += acc * acc;
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-5);
+  EXPECT_LT(tlr.max_tile_error(), 1e-5);
+}
+
+TEST_F(TlrMatrixTest, CompressionBeatsDenseMixedStorage) {
+  // TLR pays off when tiles are large relative to the kernel's numerical
+  // rank: use the smoother beta = 0.3 field and 75-wide tiles.
+  TlrOptions opts;
+  opts.u_req = 1e-5;
+  opts.tile = 75;
+  const std::vector<double> smooth_theta = {1.0, 0.3};
+  const TlrMatrix tlr(cov_, locs_, smooth_theta, opts);
+  EXPECT_LT(tlr.bytes(), tlr.dense_mixed_bytes());
+  EXPECT_LT(tlr.dense_mixed_bytes(), tlr.dense_fp64_bytes());
+  EXPECT_LT(tlr.mean_rank(), 38.0);  // far below nb = 75
+}
+
+TEST_F(TlrMatrixTest, LooserAccuracyLowersRanks) {
+  TlrOptions tight;
+  tight.u_req = 1e-10;
+  tight.tile = 50;
+  TlrOptions loose = tight;
+  loose.u_req = 1e-3;
+  const TlrMatrix t(cov_, locs_, theta_, tight);
+  const TlrMatrix l(cov_, locs_, theta_, loose);
+  EXPECT_LT(l.mean_rank(), t.mean_rank());
+  EXPECT_LT(l.bytes(), t.bytes());
+}
+
+TEST_F(TlrMatrixTest, RankQueriesAndValidation) {
+  TlrOptions opts;
+  opts.u_req = 1e-6;
+  opts.tile = 50;
+  const TlrMatrix tlr(cov_, locs_, theta_, opts);
+  EXPECT_GE(tlr.rank(1, 0), 1u);
+  EXPECT_THROW(tlr.rank(0, 0), Error);  // diagonal is dense, not low-rank
+  std::vector<double> wrong(10);
+  EXPECT_THROW(tlr.matvec(wrong), Error);
+}
+
+}  // namespace
+}  // namespace mpgeo
