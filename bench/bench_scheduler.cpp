@@ -1,0 +1,153 @@
+// Scheduler microbenchmark: task throughput of the work-stealing executor
+// vs the seed single-queue scheduler (ExecutorOptions::use_work_stealing =
+// false), on DAGs whose bodies are free (pure scheduling cost) or tiny (a
+// 64-element dot product, the smallest realistic kernel). The seed
+// scheduler's priority pick is an O(|ready|) scan under a global mutex, so
+// its per-task cost grows with DAG width — exactly what these shapes expose.
+//
+// Shapes:
+//   wide   — `width` independent chains of length `depth`: the ready set
+//            holds ~width tasks at once (trailing-update shape);
+//   diamond — repeated fan-out/fan-in: source -> width mids -> sink, chained
+//            `depth` times (panel-then-update shape).
+//
+// Throughput is reported as items/s where one item = one task.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace {
+
+using namespace mpgeo;
+
+// Round-robin kernel kinds so priority buckets are exercised.
+KernelKind kind_of(std::size_t i) {
+  switch (i % 4) {
+    case 0: return KernelKind::POTRF;
+    case 1: return KernelKind::TRSM;
+    case 2: return KernelKind::SYRK;
+    default: return KernelKind::GEMM;
+  }
+}
+
+TaskInfo info_of(std::size_t chain, std::size_t level) {
+  TaskInfo ti;
+  ti.kind = kind_of(chain + level);
+  ti.tk = int(level);
+  return ti;
+}
+
+/// `width` independent chains of `depth` tasks each.
+TaskGraph make_wide_dag(std::size_t width, std::size_t depth,
+                        std::function<void()> body) {
+  TaskGraph g;
+  std::vector<DataId> data(width);
+  for (std::size_t c = 0; c < width; ++c) {
+    data[c] = g.add_data({"d" + std::to_string(c), 64, -1});
+  }
+  for (std::size_t l = 0; l < depth; ++l) {
+    for (std::size_t c = 0; c < width; ++c) {
+      g.add_task(info_of(c, l), {{data[c], AccessMode::ReadWrite}}, body);
+    }
+  }
+  return g;
+}
+
+/// `depth` repetitions of source -> `width` mids -> sink.
+TaskGraph make_diamond_dag(std::size_t width, std::size_t depth,
+                           std::function<void()> body) {
+  TaskGraph g;
+  const DataId hub = g.add_data({"hub", 64, -1});
+  std::vector<DataId> mids(width);
+  for (std::size_t c = 0; c < width; ++c) {
+    mids[c] = g.add_data({"m" + std::to_string(c), 64, -1});
+  }
+  for (std::size_t l = 0; l < depth; ++l) {
+    TaskInfo src;
+    src.kind = KernelKind::POTRF;
+    src.tk = int(l);
+    g.add_task(src, {{hub, AccessMode::Write}}, body);
+    for (std::size_t c = 0; c < width; ++c) {
+      g.add_task(info_of(c, l),
+                 {{hub, AccessMode::Read}, {mids[c], AccessMode::Write}}, body);
+    }
+    TaskInfo sink;
+    sink.kind = KernelKind::TRSM;
+    sink.tk = int(l);
+    std::vector<Access> acc{{hub, AccessMode::ReadWrite}};
+    for (DataId m : mids) acc.push_back({m, AccessMode::Read});
+    g.add_task(sink, acc, body);
+  }
+  return g;
+}
+
+std::function<void()> tiny_body() {
+  // A ~64-FMA dot product: the smallest body a real tile kernel would have.
+  static double xs[64], ys[64];
+  for (int i = 0; i < 64; ++i) {
+    xs[i] = 1.0 / (i + 1);
+    ys[i] = double(i);
+  }
+  return [] {
+    double acc = 0.0;
+    for (int i = 0; i < 64; ++i) acc += xs[i] * ys[i];
+    benchmark::DoNotOptimize(acc);
+  };
+}
+
+void run_bench(benchmark::State& state, TaskGraph& graph) {
+  ExecutorOptions opts;
+  opts.num_threads = std::size_t(state.range(2));
+  opts.use_work_stealing = state.range(3) != 0;
+  for (auto _ : state) {
+    const ExecutionReport rep = execute(graph, opts);
+    benchmark::DoNotOptimize(rep.tasks_run);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(graph.num_tasks()));
+}
+
+void BM_WideEmpty(benchmark::State& state) {
+  TaskGraph g = make_wide_dag(std::size_t(state.range(0)),
+                              std::size_t(state.range(1)), nullptr);
+  run_bench(state, g);
+}
+
+void BM_WideTiny(benchmark::State& state) {
+  TaskGraph g = make_wide_dag(std::size_t(state.range(0)),
+                              std::size_t(state.range(1)), tiny_body());
+  run_bench(state, g);
+}
+
+void BM_DiamondEmpty(benchmark::State& state) {
+  TaskGraph g = make_diamond_dag(std::size_t(state.range(0)),
+                                 std::size_t(state.range(1)), nullptr);
+  run_bench(state, g);
+}
+
+// Args: {width, depth, threads, work_stealing}.
+void shapes(benchmark::internal::Benchmark* b) {
+  for (int64_t ws : {0, 1}) {
+    for (int64_t threads : {1, 4, 8}) {
+      for (int64_t width : {64, 1024, 4096}) {
+        b->Args({width, 8, threads, ws});
+      }
+    }
+  }
+}
+
+BENCHMARK(BM_WideEmpty)->Apply(shapes)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WideTiny)->Apply(shapes)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DiamondEmpty)
+    ->Args({1024, 8, 8, 0})
+    ->Args({1024, 8, 8, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_3d.dir/bench_accuracy_3d.cpp.o"
+  "CMakeFiles/bench_accuracy_3d.dir/bench_accuracy_3d.cpp.o.d"
+  "bench_accuracy_3d"
+  "bench_accuracy_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

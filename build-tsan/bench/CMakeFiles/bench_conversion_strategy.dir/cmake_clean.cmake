@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conversion_strategy.dir/bench_conversion_strategy.cpp.o"
+  "CMakeFiles/bench_conversion_strategy.dir/bench_conversion_strategy.cpp.o.d"
+  "bench_conversion_strategy"
+  "bench_conversion_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conversion_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_motion.dir/bench_data_motion.cpp.o"
+  "CMakeFiles/bench_data_motion.dir/bench_data_motion.cpp.o.d"
+  "bench_data_motion"
+  "bench_data_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

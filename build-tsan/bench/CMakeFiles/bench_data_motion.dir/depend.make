@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_data_motion.
+# This may be replaced when dependencies are built.

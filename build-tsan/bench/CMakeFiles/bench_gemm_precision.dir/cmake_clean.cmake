@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gemm_precision.dir/bench_gemm_precision.cpp.o"
+  "CMakeFiles/bench_gemm_precision.dir/bench_gemm_precision.cpp.o.d"
+  "bench_gemm_precision"
+  "bench_gemm_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gemm_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

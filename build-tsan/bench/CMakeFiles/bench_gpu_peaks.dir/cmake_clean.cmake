@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gpu_peaks.dir/bench_gpu_peaks.cpp.o"
+  "CMakeFiles/bench_gpu_peaks.dir/bench_gpu_peaks.cpp.o.d"
+  "bench_gpu_peaks"
+  "bench_gpu_peaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpu_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_occupancy.dir/bench_occupancy.cpp.o"
+  "CMakeFiles/bench_occupancy.dir/bench_occupancy.cpp.o.d"
+  "bench_occupancy"
+  "bench_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precision_map.dir/bench_precision_map.cpp.o"
+  "CMakeFiles/bench_precision_map.dir/bench_precision_map.cpp.o.d"
+  "bench_precision_map"
+  "bench_precision_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precision_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

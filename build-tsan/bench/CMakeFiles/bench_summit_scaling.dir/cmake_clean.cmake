@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summit_scaling.dir/bench_summit_scaling.cpp.o"
+  "CMakeFiles/bench_summit_scaling.dir/bench_summit_scaling.cpp.o.d"
+  "bench_summit_scaling"
+  "bench_summit_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summit_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

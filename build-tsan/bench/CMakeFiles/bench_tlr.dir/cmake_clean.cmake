@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tlr.dir/bench_tlr.cpp.o"
+  "CMakeFiles/bench_tlr.dir/bench_tlr.cpp.o.d"
+  "bench_tlr"
+  "bench_tlr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

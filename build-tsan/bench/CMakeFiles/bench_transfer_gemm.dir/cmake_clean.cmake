@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transfer_gemm.dir/bench_transfer_gemm.cpp.o"
+  "CMakeFiles/bench_transfer_gemm.dir/bench_transfer_gemm.cpp.o.d"
+  "bench_transfer_gemm"
+  "bench_transfer_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transfer_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_fit.dir/climate_fit.cpp.o"
+  "CMakeFiles/climate_fit.dir/climate_fit.cpp.o.d"
+  "climate_fit"
+  "climate_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_planner.dir/energy_planner.cpp.o"
+  "CMakeFiles/energy_planner.dir/energy_planner.cpp.o.d"
+  "energy_planner"
+  "energy_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlr_study.dir/tlr_study.cpp.o"
+  "CMakeFiles/tlr_study.dir/tlr_study.cpp.o.d"
+  "tlr_study"
+  "tlr_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlr_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("precision")
+subdirs("linalg")
+subdirs("runtime")
+subdirs("gpusim")
+subdirs("stats")
+subdirs("optim")
+subdirs("core")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpgeo_common.dir/cli.cpp.o"
+  "CMakeFiles/mpgeo_common.dir/cli.cpp.o.d"
+  "CMakeFiles/mpgeo_common.dir/error.cpp.o"
+  "CMakeFiles/mpgeo_common.dir/error.cpp.o.d"
+  "CMakeFiles/mpgeo_common.dir/rng.cpp.o"
+  "CMakeFiles/mpgeo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mpgeo_common.dir/table.cpp.o"
+  "CMakeFiles/mpgeo_common.dir/table.cpp.o.d"
+  "CMakeFiles/mpgeo_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mpgeo_common.dir/thread_pool.cpp.o.d"
+  "libmpgeo_common.a"
+  "libmpgeo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpgeo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm_map.cpp" "src/core/CMakeFiles/mpgeo_core.dir/comm_map.cpp.o" "gcc" "src/core/CMakeFiles/mpgeo_core.dir/comm_map.cpp.o.d"
+  "/root/repo/src/core/mle.cpp" "src/core/CMakeFiles/mpgeo_core.dir/mle.cpp.o" "gcc" "src/core/CMakeFiles/mpgeo_core.dir/mle.cpp.o.d"
+  "/root/repo/src/core/monte_carlo.cpp" "src/core/CMakeFiles/mpgeo_core.dir/monte_carlo.cpp.o" "gcc" "src/core/CMakeFiles/mpgeo_core.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/core/mp_cholesky.cpp" "src/core/CMakeFiles/mpgeo_core.dir/mp_cholesky.cpp.o" "gcc" "src/core/CMakeFiles/mpgeo_core.dir/mp_cholesky.cpp.o.d"
+  "/root/repo/src/core/mp_prediction.cpp" "src/core/CMakeFiles/mpgeo_core.dir/mp_prediction.cpp.o" "gcc" "src/core/CMakeFiles/mpgeo_core.dir/mp_prediction.cpp.o.d"
+  "/root/repo/src/core/precision_map.cpp" "src/core/CMakeFiles/mpgeo_core.dir/precision_map.cpp.o" "gcc" "src/core/CMakeFiles/mpgeo_core.dir/precision_map.cpp.o.d"
+  "/root/repo/src/core/sampled_norms.cpp" "src/core/CMakeFiles/mpgeo_core.dir/sampled_norms.cpp.o" "gcc" "src/core/CMakeFiles/mpgeo_core.dir/sampled_norms.cpp.o.d"
+  "/root/repo/src/core/sim_graph.cpp" "src/core/CMakeFiles/mpgeo_core.dir/sim_graph.cpp.o" "gcc" "src/core/CMakeFiles/mpgeo_core.dir/sim_graph.cpp.o.d"
+  "/root/repo/src/core/tile_matrix.cpp" "src/core/CMakeFiles/mpgeo_core.dir/tile_matrix.cpp.o" "gcc" "src/core/CMakeFiles/mpgeo_core.dir/tile_matrix.cpp.o.d"
+  "/root/repo/src/core/tiled_covariance.cpp" "src/core/CMakeFiles/mpgeo_core.dir/tiled_covariance.cpp.o" "gcc" "src/core/CMakeFiles/mpgeo_core.dir/tiled_covariance.cpp.o.d"
+  "/root/repo/src/core/tlr_cholesky.cpp" "src/core/CMakeFiles/mpgeo_core.dir/tlr_cholesky.cpp.o" "gcc" "src/core/CMakeFiles/mpgeo_core.dir/tlr_cholesky.cpp.o.d"
+  "/root/repo/src/core/tlr_matrix.cpp" "src/core/CMakeFiles/mpgeo_core.dir/tlr_matrix.cpp.o" "gcc" "src/core/CMakeFiles/mpgeo_core.dir/tlr_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mpgeo_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/precision/CMakeFiles/mpgeo_precision.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/mpgeo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/mpgeo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpusim/CMakeFiles/mpgeo_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/mpgeo_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optim/CMakeFiles/mpgeo_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpgeo_core.dir/comm_map.cpp.o"
+  "CMakeFiles/mpgeo_core.dir/comm_map.cpp.o.d"
+  "CMakeFiles/mpgeo_core.dir/mle.cpp.o"
+  "CMakeFiles/mpgeo_core.dir/mle.cpp.o.d"
+  "CMakeFiles/mpgeo_core.dir/monte_carlo.cpp.o"
+  "CMakeFiles/mpgeo_core.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/mpgeo_core.dir/mp_cholesky.cpp.o"
+  "CMakeFiles/mpgeo_core.dir/mp_cholesky.cpp.o.d"
+  "CMakeFiles/mpgeo_core.dir/mp_prediction.cpp.o"
+  "CMakeFiles/mpgeo_core.dir/mp_prediction.cpp.o.d"
+  "CMakeFiles/mpgeo_core.dir/precision_map.cpp.o"
+  "CMakeFiles/mpgeo_core.dir/precision_map.cpp.o.d"
+  "CMakeFiles/mpgeo_core.dir/sampled_norms.cpp.o"
+  "CMakeFiles/mpgeo_core.dir/sampled_norms.cpp.o.d"
+  "CMakeFiles/mpgeo_core.dir/sim_graph.cpp.o"
+  "CMakeFiles/mpgeo_core.dir/sim_graph.cpp.o.d"
+  "CMakeFiles/mpgeo_core.dir/tile_matrix.cpp.o"
+  "CMakeFiles/mpgeo_core.dir/tile_matrix.cpp.o.d"
+  "CMakeFiles/mpgeo_core.dir/tiled_covariance.cpp.o"
+  "CMakeFiles/mpgeo_core.dir/tiled_covariance.cpp.o.d"
+  "CMakeFiles/mpgeo_core.dir/tlr_cholesky.cpp.o"
+  "CMakeFiles/mpgeo_core.dir/tlr_cholesky.cpp.o.d"
+  "CMakeFiles/mpgeo_core.dir/tlr_matrix.cpp.o"
+  "CMakeFiles/mpgeo_core.dir/tlr_matrix.cpp.o.d"
+  "libmpgeo_core.a"
+  "libmpgeo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpgeo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

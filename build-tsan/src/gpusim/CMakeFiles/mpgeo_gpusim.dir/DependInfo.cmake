@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cluster.cpp" "src/gpusim/CMakeFiles/mpgeo_gpusim.dir/cluster.cpp.o" "gcc" "src/gpusim/CMakeFiles/mpgeo_gpusim.dir/cluster.cpp.o.d"
+  "/root/repo/src/gpusim/cost_model.cpp" "src/gpusim/CMakeFiles/mpgeo_gpusim.dir/cost_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/mpgeo_gpusim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/gpusim/gpu_specs.cpp" "src/gpusim/CMakeFiles/mpgeo_gpusim.dir/gpu_specs.cpp.o" "gcc" "src/gpusim/CMakeFiles/mpgeo_gpusim.dir/gpu_specs.cpp.o.d"
+  "/root/repo/src/gpusim/sim_executor.cpp" "src/gpusim/CMakeFiles/mpgeo_gpusim.dir/sim_executor.cpp.o" "gcc" "src/gpusim/CMakeFiles/mpgeo_gpusim.dir/sim_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mpgeo_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/precision/CMakeFiles/mpgeo_precision.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/mpgeo_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

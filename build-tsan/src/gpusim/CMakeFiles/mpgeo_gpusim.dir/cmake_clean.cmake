@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpgeo_gpusim.dir/cluster.cpp.o"
+  "CMakeFiles/mpgeo_gpusim.dir/cluster.cpp.o.d"
+  "CMakeFiles/mpgeo_gpusim.dir/cost_model.cpp.o"
+  "CMakeFiles/mpgeo_gpusim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mpgeo_gpusim.dir/gpu_specs.cpp.o"
+  "CMakeFiles/mpgeo_gpusim.dir/gpu_specs.cpp.o.d"
+  "CMakeFiles/mpgeo_gpusim.dir/sim_executor.cpp.o"
+  "CMakeFiles/mpgeo_gpusim.dir/sim_executor.cpp.o.d"
+  "libmpgeo_gpusim.a"
+  "libmpgeo_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpgeo_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/anytile.cpp" "src/linalg/CMakeFiles/mpgeo_linalg.dir/anytile.cpp.o" "gcc" "src/linalg/CMakeFiles/mpgeo_linalg.dir/anytile.cpp.o.d"
+  "/root/repo/src/linalg/blas.cpp" "src/linalg/CMakeFiles/mpgeo_linalg.dir/blas.cpp.o" "gcc" "src/linalg/CMakeFiles/mpgeo_linalg.dir/blas.cpp.o.d"
+  "/root/repo/src/linalg/lowrank.cpp" "src/linalg/CMakeFiles/mpgeo_linalg.dir/lowrank.cpp.o" "gcc" "src/linalg/CMakeFiles/mpgeo_linalg.dir/lowrank.cpp.o.d"
+  "/root/repo/src/linalg/qr_svd.cpp" "src/linalg/CMakeFiles/mpgeo_linalg.dir/qr_svd.cpp.o" "gcc" "src/linalg/CMakeFiles/mpgeo_linalg.dir/qr_svd.cpp.o.d"
+  "/root/repo/src/linalg/reference.cpp" "src/linalg/CMakeFiles/mpgeo_linalg.dir/reference.cpp.o" "gcc" "src/linalg/CMakeFiles/mpgeo_linalg.dir/reference.cpp.o.d"
+  "/root/repo/src/linalg/tile_kernels.cpp" "src/linalg/CMakeFiles/mpgeo_linalg.dir/tile_kernels.cpp.o" "gcc" "src/linalg/CMakeFiles/mpgeo_linalg.dir/tile_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mpgeo_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/precision/CMakeFiles/mpgeo_precision.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpgeo_linalg.dir/anytile.cpp.o"
+  "CMakeFiles/mpgeo_linalg.dir/anytile.cpp.o.d"
+  "CMakeFiles/mpgeo_linalg.dir/blas.cpp.o"
+  "CMakeFiles/mpgeo_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/mpgeo_linalg.dir/lowrank.cpp.o"
+  "CMakeFiles/mpgeo_linalg.dir/lowrank.cpp.o.d"
+  "CMakeFiles/mpgeo_linalg.dir/qr_svd.cpp.o"
+  "CMakeFiles/mpgeo_linalg.dir/qr_svd.cpp.o.d"
+  "CMakeFiles/mpgeo_linalg.dir/reference.cpp.o"
+  "CMakeFiles/mpgeo_linalg.dir/reference.cpp.o.d"
+  "CMakeFiles/mpgeo_linalg.dir/tile_kernels.cpp.o"
+  "CMakeFiles/mpgeo_linalg.dir/tile_kernels.cpp.o.d"
+  "libmpgeo_linalg.a"
+  "libmpgeo_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpgeo_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpgeo_linalg.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpgeo_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/mpgeo_optim.dir/optimizer.cpp.o.d"
+  "libmpgeo_optim.a"
+  "libmpgeo_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpgeo_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

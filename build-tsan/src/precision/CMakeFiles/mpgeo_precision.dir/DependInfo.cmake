@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/precision/convert.cpp" "src/precision/CMakeFiles/mpgeo_precision.dir/convert.cpp.o" "gcc" "src/precision/CMakeFiles/mpgeo_precision.dir/convert.cpp.o.d"
+  "/root/repo/src/precision/float16.cpp" "src/precision/CMakeFiles/mpgeo_precision.dir/float16.cpp.o" "gcc" "src/precision/CMakeFiles/mpgeo_precision.dir/float16.cpp.o.d"
+  "/root/repo/src/precision/mixed_gemm.cpp" "src/precision/CMakeFiles/mpgeo_precision.dir/mixed_gemm.cpp.o" "gcc" "src/precision/CMakeFiles/mpgeo_precision.dir/mixed_gemm.cpp.o.d"
+  "/root/repo/src/precision/precision.cpp" "src/precision/CMakeFiles/mpgeo_precision.dir/precision.cpp.o" "gcc" "src/precision/CMakeFiles/mpgeo_precision.dir/precision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mpgeo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

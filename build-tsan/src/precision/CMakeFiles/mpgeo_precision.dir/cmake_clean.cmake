@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpgeo_precision.dir/convert.cpp.o"
+  "CMakeFiles/mpgeo_precision.dir/convert.cpp.o.d"
+  "CMakeFiles/mpgeo_precision.dir/float16.cpp.o"
+  "CMakeFiles/mpgeo_precision.dir/float16.cpp.o.d"
+  "CMakeFiles/mpgeo_precision.dir/mixed_gemm.cpp.o"
+  "CMakeFiles/mpgeo_precision.dir/mixed_gemm.cpp.o.d"
+  "CMakeFiles/mpgeo_precision.dir/precision.cpp.o"
+  "CMakeFiles/mpgeo_precision.dir/precision.cpp.o.d"
+  "libmpgeo_precision.a"
+  "libmpgeo_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpgeo_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

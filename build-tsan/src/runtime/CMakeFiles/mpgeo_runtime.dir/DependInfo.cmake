@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/executor.cpp" "src/runtime/CMakeFiles/mpgeo_runtime.dir/executor.cpp.o" "gcc" "src/runtime/CMakeFiles/mpgeo_runtime.dir/executor.cpp.o.d"
+  "/root/repo/src/runtime/task_graph.cpp" "src/runtime/CMakeFiles/mpgeo_runtime.dir/task_graph.cpp.o" "gcc" "src/runtime/CMakeFiles/mpgeo_runtime.dir/task_graph.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/runtime/CMakeFiles/mpgeo_runtime.dir/trace.cpp.o" "gcc" "src/runtime/CMakeFiles/mpgeo_runtime.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mpgeo_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/precision/CMakeFiles/mpgeo_precision.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpgeo_runtime.dir/executor.cpp.o"
+  "CMakeFiles/mpgeo_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/mpgeo_runtime.dir/task_graph.cpp.o"
+  "CMakeFiles/mpgeo_runtime.dir/task_graph.cpp.o.d"
+  "CMakeFiles/mpgeo_runtime.dir/trace.cpp.o"
+  "CMakeFiles/mpgeo_runtime.dir/trace.cpp.o.d"
+  "libmpgeo_runtime.a"
+  "libmpgeo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpgeo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/besselk.cpp" "src/stats/CMakeFiles/mpgeo_stats.dir/besselk.cpp.o" "gcc" "src/stats/CMakeFiles/mpgeo_stats.dir/besselk.cpp.o.d"
+  "/root/repo/src/stats/covariance.cpp" "src/stats/CMakeFiles/mpgeo_stats.dir/covariance.cpp.o" "gcc" "src/stats/CMakeFiles/mpgeo_stats.dir/covariance.cpp.o.d"
+  "/root/repo/src/stats/field.cpp" "src/stats/CMakeFiles/mpgeo_stats.dir/field.cpp.o" "gcc" "src/stats/CMakeFiles/mpgeo_stats.dir/field.cpp.o.d"
+  "/root/repo/src/stats/kriging.cpp" "src/stats/CMakeFiles/mpgeo_stats.dir/kriging.cpp.o" "gcc" "src/stats/CMakeFiles/mpgeo_stats.dir/kriging.cpp.o.d"
+  "/root/repo/src/stats/locations.cpp" "src/stats/CMakeFiles/mpgeo_stats.dir/locations.cpp.o" "gcc" "src/stats/CMakeFiles/mpgeo_stats.dir/locations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mpgeo_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/mpgeo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/precision/CMakeFiles/mpgeo_precision.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpgeo_stats.dir/besselk.cpp.o"
+  "CMakeFiles/mpgeo_stats.dir/besselk.cpp.o.d"
+  "CMakeFiles/mpgeo_stats.dir/covariance.cpp.o"
+  "CMakeFiles/mpgeo_stats.dir/covariance.cpp.o.d"
+  "CMakeFiles/mpgeo_stats.dir/field.cpp.o"
+  "CMakeFiles/mpgeo_stats.dir/field.cpp.o.d"
+  "CMakeFiles/mpgeo_stats.dir/kriging.cpp.o"
+  "CMakeFiles/mpgeo_stats.dir/kriging.cpp.o.d"
+  "CMakeFiles/mpgeo_stats.dir/locations.cpp.o"
+  "CMakeFiles/mpgeo_stats.dir/locations.cpp.o.d"
+  "libmpgeo_stats.a"
+  "libmpgeo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpgeo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

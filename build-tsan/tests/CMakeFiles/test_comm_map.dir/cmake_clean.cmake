@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_map.dir/test_comm_map.cpp.o"
+  "CMakeFiles/test_comm_map.dir/test_comm_map.cpp.o.d"
+  "test_comm_map"
+  "test_comm_map.pdb"
+  "test_comm_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

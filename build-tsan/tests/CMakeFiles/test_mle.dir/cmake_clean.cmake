@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mle.dir/test_mle.cpp.o"
+  "CMakeFiles/test_mle.dir/test_mle.cpp.o.d"
+  "test_mle"
+  "test_mle.pdb"
+  "test_mle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

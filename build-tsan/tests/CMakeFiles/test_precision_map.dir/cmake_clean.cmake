@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_precision_map.dir/test_precision_map.cpp.o"
+  "CMakeFiles/test_precision_map.dir/test_precision_map.cpp.o.d"
+  "test_precision_map"
+  "test_precision_map.pdb"
+  "test_precision_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_precision_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampled_norms.dir/test_sampled_norms.cpp.o"
+  "CMakeFiles/test_sampled_norms.dir/test_sampled_norms.cpp.o.d"
+  "test_sampled_norms"
+  "test_sampled_norms.pdb"
+  "test_sampled_norms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampled_norms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim_graph.cpp" "tests/CMakeFiles/test_sim_graph.dir/test_sim_graph.cpp.o" "gcc" "tests/CMakeFiles/test_sim_graph.dir/test_sim_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/mpgeo_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpusim/CMakeFiles/mpgeo_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/mpgeo_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optim/CMakeFiles/mpgeo_optim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/mpgeo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/mpgeo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/precision/CMakeFiles/mpgeo_precision.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/mpgeo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_graph.dir/test_sim_graph.cpp.o"
+  "CMakeFiles/test_sim_graph.dir/test_sim_graph.cpp.o.d"
+  "test_sim_graph"
+  "test_sim_graph.pdb"
+  "test_sim_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlr_cholesky.dir/test_tlr_cholesky.cpp.o"
+  "CMakeFiles/test_tlr_cholesky.dir/test_tlr_cholesky.cpp.o.d"
+  "test_tlr_cholesky"
+  "test_tlr_cholesky.pdb"
+  "test_tlr_cholesky[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlr_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

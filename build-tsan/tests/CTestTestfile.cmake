@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_precision[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_optim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_precision_map[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_comm_map[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mp_cholesky[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim_graph[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mle[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_prediction[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sampled_norms[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_tlr[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_tlr_cholesky[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_monte_carlo[1]_include.cmake")

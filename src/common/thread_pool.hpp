@@ -1,10 +1,13 @@
 // Fixed-size worker pool with a shared FIFO queue.
 //
-// Used by the task runtime (src/runtime) as its execution backend and by
-// Monte-Carlo drivers to parallelize independent replicas. Deliberately
-// simple: one mutex-protected queue is plenty for tile-granularity tasks
-// (each task is a BLAS-3 kernel on a 64x64..2048x2048 tile, microseconds to
-// seconds of work, so queue contention is negligible).
+// A deliberately simple utility for coarse, independent jobs (replica-level
+// parallel_for in benches and examples). It is NOT the task runtime's
+// scheduler: DAG execution lives in runtime/executor.hpp, whose
+// work-stealing design (per-worker priority-bucketed deques, lock-free
+// dependency retirement) exists precisely because a single mutex-protected
+// queue stops scaling once tasks are fine-grained and the ready set is wide
+// — see "Scheduler architecture" in DESIGN.md. Reach for this pool only
+// when jobs are few and long enough that queue contention cannot matter.
 #pragma once
 
 #include <condition_variable>

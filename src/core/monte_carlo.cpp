@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <mutex>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "common/thread_pool.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/task_graph.hpp"
 #include "stats/field.hpp"
 #include "stats/locations.hpp"
 
@@ -45,23 +47,41 @@ MonteCarloResult run_monte_carlo(const Covariance& cov,
   MleOptions mle = config.mle;
   mle.num_threads = 1;  // parallelism lives at the replica level
 
+  // One independent task per replica, run through the work-stealing
+  // executor (replicas, not tiles, fill the machine: per-fit Cholesky is
+  // forced single-threaded above). Estimates are aggregated per replica
+  // index so the result is identical regardless of completion order.
   std::mutex mu;
-  ThreadPool pool;
-  pool.parallel_for(std::size_t(config.replicas), [&](std::size_t rep) {
-    Rng rng(config.seed + 17 * rep);
-    const LocationSet locs = generate_locations(config.n, config.dim, rng);
-    Rng field_rng = rng.spawn(rep);
-    const std::vector<double> z = sample_field(cov, locs, truth, field_rng);
-    const MleResult fit = fit_mle(cov, locs, z, mle);
-    std::lock_guard lk(mu);
-    if (!std::isfinite(fit.loglik) || fit.loglik <= -1e99) {
-      result.failed_replicas++;
-      return;
-    }
+  std::vector<std::vector<double>> per_replica(std::size_t(config.replicas));
+  TaskGraph graph;
+  for (std::size_t rep = 0; rep < std::size_t(config.replicas); ++rep) {
+    DataInfo d;
+    d.name = "replica" + std::to_string(rep);
+    const DataId id = graph.add_data(d);
+    TaskInfo ti;
+    ti.name = "fit" + std::to_string(rep);
+    ti.kind = KernelKind::CUSTOM;
+    graph.add_task(ti, {{id, AccessMode::Write}}, [&, rep] {
+      Rng rng(config.seed + 17 * rep);
+      const LocationSet locs = generate_locations(config.n, config.dim, rng);
+      Rng field_rng = rng.spawn(rep);
+      const std::vector<double> z = sample_field(cov, locs, truth, field_rng);
+      const MleResult fit = fit_mle(cov, locs, z, mle);
+      std::lock_guard lk(mu);
+      if (!std::isfinite(fit.loglik) || fit.loglik <= -1e99) {
+        result.failed_replicas++;
+        return;
+      }
+      per_replica[rep] = fit.theta;
+    });
+  }
+  execute(graph, {});
+  for (const std::vector<double>& theta : per_replica) {
+    if (theta.empty()) continue;
     for (std::size_t p = 0; p < num_params; ++p) {
-      result.estimates[p].push_back(fit.theta[p]);
+      result.estimates[p].push_back(theta[p]);
     }
-  });
+  }
 
   for (std::size_t p = 0; p < num_params; ++p) {
     if (!result.estimates[p].empty()) {

@@ -131,6 +131,8 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
   result.stored_bytes = a.bytes();
   ExecutorOptions exec_opts;
   exec_opts.num_threads = options.num_threads;
+  exec_opts.use_work_stealing = options.use_work_stealing;
+  exec_opts.use_priorities = options.use_priorities;
   try {
     result.exec = execute(graph, exec_opts);
   } catch (const NotPositiveDefinite& e) {

@@ -43,6 +43,11 @@ struct MpCholeskyOptions {
   std::size_t num_threads = 0;  ///< worker pool size; 0 = hardware
   /// Round STC broadcasts through the wire format (see header comment).
   bool apply_wire_rounding = true;
+  /// Scheduler knobs forwarded to the executor. Numerics are scheduler-
+  /// independent (dataflow edges order every conflicting access), so these
+  /// only move wall time; they exist for A/B runs and determinism tests.
+  bool use_work_stealing = true;
+  bool use_priorities = true;
 };
 
 struct MpCholeskyResult {

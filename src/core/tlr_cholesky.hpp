@@ -61,8 +61,12 @@ struct TlrCholeskyResult {
 };
 
 /// Factor in place: on return the diagonal tiles hold dense Cholesky
-/// factors and the off-diagonal tiles the low-rank panels of L.
-TlrCholeskyResult tlr_cholesky(TlrFactor& a);
+/// factors and the off-diagonal tiles the low-rank panels of L. Executes as
+/// a task graph on the work-stealing runtime (same dataflow as the dense
+/// mixed-precision Cholesky), so independent panels factor concurrently;
+/// num_threads = 0 means hardware concurrency. Results are bit-identical to
+/// the serial loop — conflicting tile accesses are ordered by graph edges.
+TlrCholeskyResult tlr_cholesky(TlrFactor& a, std::size_t num_threads = 0);
 
 /// log|A| = 2 sum log diag(L) of a factored TlrFactor.
 double tlr_logdet(const TlrFactor& l);

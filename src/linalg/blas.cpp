@@ -1,6 +1,7 @@
 #include "linalg/blas.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -78,15 +79,66 @@ void trsm_left_lower_trans(std::size_t m, std::size_t n, T alpha, const T* l,
   }
 }
 
+// Packed + register-tiled BLAS-3 below. Both kernels keep one accumulator
+// per output element sweeping p in ascending order, so results are
+// bit-identical to the textbook triple loop (no reassociation) — packing
+// only turns the `lda`-strided operand walks into stride-1 streams, and the
+// 4-wide register tiles reuse each packed column across a block of outputs
+// instead of refetching it from cache per element.
+
+/// Problems smaller than this run the unpacked loop: the O(mk + kn) packing
+/// pass is pure overhead when the whole working set already fits in L1.
+constexpr std::size_t kPackThresholdFlops = 4096;
+
 template <class T>
 void syrk_lower_notrans(std::size_t n, std::size_t k, T alpha, const T* a,
                         std::size_t lda, T beta, T* c, std::size_t ldc) {
   MPGEO_REQUIRE(lda >= n || n == 0, "syrk: lda too small");
   MPGEO_REQUIRE(ldc >= n || n == 0, "syrk: ldc too small");
+  if (n * n * k < kPackThresholdFlops) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = j; i < n; ++i) {
+        T acc{};
+        for (std::size_t p = 0; p < k; ++p)
+          acc += a[i + p * lda] * a[j + p * lda];
+        c[i + j * ldc] = alpha * acc + beta * c[i + j * ldc];
+      }
+    }
+    return;
+  }
+
+  // Pack A row-major (row i contiguous in p) so every inner product below
+  // is stride-1 on both operands.
+  thread_local std::vector<T> at;
+  at.resize(n * k);
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t i = 0; i < n; ++i) at[p + i * k] = a[i + p * lda];
+
   for (std::size_t j = 0; j < n; ++j) {
-    for (std::size_t i = j; i < n; ++i) {
+    const T* aj = &at[j * k];
+    std::size_t i = j;
+    for (; i + 4 <= n; i += 4) {
+      const T* a0 = &at[(i + 0) * k];
+      const T* a1 = &at[(i + 1) * k];
+      const T* a2 = &at[(i + 2) * k];
+      const T* a3 = &at[(i + 3) * k];
+      T acc0{}, acc1{}, acc2{}, acc3{};
+      for (std::size_t p = 0; p < k; ++p) {
+        const T bj = aj[p];
+        acc0 += a0[p] * bj;
+        acc1 += a1[p] * bj;
+        acc2 += a2[p] * bj;
+        acc3 += a3[p] * bj;
+      }
+      c[i + 0 + j * ldc] = alpha * acc0 + beta * c[i + 0 + j * ldc];
+      c[i + 1 + j * ldc] = alpha * acc1 + beta * c[i + 1 + j * ldc];
+      c[i + 2 + j * ldc] = alpha * acc2 + beta * c[i + 2 + j * ldc];
+      c[i + 3 + j * ldc] = alpha * acc3 + beta * c[i + 3 + j * ldc];
+    }
+    for (; i < n; ++i) {
+      const T* ai = &at[i * k];
       T acc{};
-      for (std::size_t p = 0; p < k; ++p) acc += a[i + p * lda] * a[j + p * lda];
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * aj[p];
       c[i + j * ldc] = alpha * acc + beta * c[i + j * ldc];
     }
   }
@@ -105,10 +157,92 @@ void gemm(char transa, char transb, std::size_t m, std::size_t n,
   auto eb = [&](std::size_t p, std::size_t j) {
     return transb == 'N' ? b[p + j * ldb] : b[j + p * ldb];
   };
-  for (std::size_t j = 0; j < n; ++j) {
+  if (m * n * k < kPackThresholdFlops) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = 0; i < m; ++i) {
+        T acc{};
+        for (std::size_t p = 0; p < k; ++p) acc += ea(i, p) * eb(p, j);
+        c[i + j * ldc] = alpha * acc + beta * c[i + j * ldc];
+      }
+    }
+    return;
+  }
+
+  // Pack op(A) row-major and op(B) column-major so the micro-kernel streams
+  // both operands stride-1 regardless of trans flags (the 'N' case walks A
+  // in `lda`-sized strides otherwise, thrashing cache on 256+ tiles).
+  thread_local std::vector<T> at, bp;
+  at.resize(m * k);
+  bp.resize(k * n);
+  if (transa == 'N') {
+    for (std::size_t p = 0; p < k; ++p)
+      for (std::size_t i = 0; i < m; ++i) at[p + i * k] = a[i + p * lda];
+  } else {
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t p = 0; p < k; ++p) at[p + i * k] = a[p + i * lda];
+  }
+  if (transb == 'N') {
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t p = 0; p < k; ++p) bp[p + j * k] = b[p + j * ldb];
+  } else {
+    for (std::size_t p = 0; p < k; ++p)
+      for (std::size_t j = 0; j < n; ++j) bp[p + j * k] = b[j + p * ldb];
+  }
+
+  // 4x4 register tile: 16 independent accumulators, each packed column of A
+  // and B loaded once per p instead of once per output element.
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const T* b0 = &bp[(j + 0) * k];
+    const T* b1 = &bp[(j + 1) * k];
+    const T* b2 = &bp[(j + 2) * k];
+    const T* b3 = &bp[(j + 3) * k];
+    std::size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const T* a0 = &at[(i + 0) * k];
+      const T* a1 = &at[(i + 1) * k];
+      const T* a2 = &at[(i + 2) * k];
+      const T* a3 = &at[(i + 3) * k];
+      T acc[4][4] = {};
+      for (std::size_t p = 0; p < k; ++p) {
+        const T av[4] = {a0[p], a1[p], a2[p], a3[p]};
+        const T bv[4] = {b0[p], b1[p], b2[p], b3[p]};
+        for (int r = 0; r < 4; ++r) {
+          acc[r][0] += av[r] * bv[0];
+          acc[r][1] += av[r] * bv[1];
+          acc[r][2] += av[r] * bv[2];
+          acc[r][3] += av[r] * bv[3];
+        }
+      }
+      for (int cc = 0; cc < 4; ++cc) {
+        for (int r = 0; r < 4; ++r) {
+          T& out = c[i + std::size_t(r) + (j + std::size_t(cc)) * ldc];
+          out = alpha * acc[r][cc] + beta * out;
+        }
+      }
+    }
+    for (; i < m; ++i) {  // row tail: 1x4
+      const T* ai = &at[i * k];
+      T acc0{}, acc1{}, acc2{}, acc3{};
+      for (std::size_t p = 0; p < k; ++p) {
+        const T av = ai[p];
+        acc0 += av * b0[p];
+        acc1 += av * b1[p];
+        acc2 += av * b2[p];
+        acc3 += av * b3[p];
+      }
+      c[i + (j + 0) * ldc] = alpha * acc0 + beta * c[i + (j + 0) * ldc];
+      c[i + (j + 1) * ldc] = alpha * acc1 + beta * c[i + (j + 1) * ldc];
+      c[i + (j + 2) * ldc] = alpha * acc2 + beta * c[i + (j + 2) * ldc];
+      c[i + (j + 3) * ldc] = alpha * acc3 + beta * c[i + (j + 3) * ldc];
+    }
+  }
+  for (; j < n; ++j) {  // column tail: m x 1
+    const T* bj = &bp[j * k];
     for (std::size_t i = 0; i < m; ++i) {
+      const T* ai = &at[i * k];
       T acc{};
-      for (std::size_t p = 0; p < k; ++p) acc += ea(i, p) * eb(p, j);
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
       c[i + j * ldc] = alpha * acc + beta * c[i + j * ldc];
     }
   }

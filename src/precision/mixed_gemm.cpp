@@ -94,7 +94,11 @@ void mixed_gemm(Precision prec, char transa, char transb, std::size_t m,
   MPGEO_REQUIRE(ldc >= m, "mixed_gemm: ldc too small");
   if (m == 0 || n == 0) return;
 
-  std::vector<double> at, bp;
+  // Grow-only thread-local scratch: tile kernels call this once per task on
+  // a worker thread, and reallocating the pack buffers per call dominated
+  // small-tile runtime. resize() never shrinks capacity, so each worker
+  // settles at its largest tile and stops touching the allocator.
+  thread_local std::vector<double> at, bp;
   pack_a_transposed(transa, m, k, a, lda, prec, at);
   pack_b(transb, n, k, b, ldb, prec, bp);
 

@@ -1,9 +1,12 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -13,31 +16,56 @@
 namespace mpgeo {
 namespace {
 
-// Scheduling rank of a ready task: smaller runs first. Panel tasks (POTRF,
-// TRSM) gate entire iterations, so they preempt queued trailing updates;
-// within a kind, earlier iterations first.
-long priority_rank(const TaskInfo& info) {
-  int cls = 6;
-  switch (info.kind) {
-    case KernelKind::POTRF: cls = 0; break;
-    case KernelKind::TRSM: cls = 1; break;
-    case KernelKind::CONVERT: cls = 2; break;
-    case KernelKind::SYRK: cls = 3; break;
-    case KernelKind::GENERATE: cls = 4; break;
-    case KernelKind::GEMM: cls = 5; break;
-    case KernelKind::CUSTOM: cls = 6; break;
+// ---------------------------------------------------------------------------
+// Priority model, shared by both schedulers.
+//
+// Panel tasks (POTRF, TRSM) gate entire iterations of a factorization, so
+// they preempt queued trailing updates. The work-stealing scheduler uses the
+// class directly as a bucket index; the seed scheduler folds in the iteration
+// for a total order.
+// ---------------------------------------------------------------------------
+
+constexpr int kNumClasses = 7;
+
+int kind_class(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::POTRF: return 0;
+    case KernelKind::TRSM: return 1;
+    case KernelKind::CONVERT: return 2;
+    case KernelKind::SYRK: return 3;
+    case KernelKind::GENERATE: return 4;
+    case KernelKind::GEMM: return 5;
+    case KernelKind::CUSTOM: return 6;
   }
-  const int iter = info.tk >= 0 ? info.tk : (info.tm >= 0 ? info.tm : 0);
-  return long(cls) * 1000000 + iter;
+  return kNumClasses - 1;
 }
+
+long priority_rank(const TaskInfo& info) {
+  const int iter = info.tk >= 0 ? info.tk : (info.tm >= 0 ? info.tm : 0);
+  return long(kind_class(info.kind)) * 1000000 + iter;
+}
+
+std::size_t resolve_thread_count(const ExecutorOptions& options,
+                                 std::size_t num_tasks) {
+  std::size_t n = options.num_threads;
+  if (n == 0) n = std::thread::hardware_concurrency();
+  if (n == 0) n = 4;
+  return std::min<std::size_t>(n, std::max<std::size_t>(num_tasks, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Seed scheduler: one mutex-protected ready list, priority selection by
+// linear scan. Kept behind ExecutorOptions::use_work_stealing = false as the
+// behavioural reference and the A/B baseline for bench_scheduler.
+// ---------------------------------------------------------------------------
 
 /// Shared state of one execution. Workers pull ready tasks from a queue;
 /// retiring a task decrements successor indegrees and pushes newly-ready
 /// tasks. A dedicated counter detects completion (queue-empty is not enough:
 /// a task may still be running and about to enqueue successors).
-class Run {
+class SeedRun {
  public:
-  Run(const TaskGraph& graph, const ExecutorOptions& options)
+  SeedRun(const TaskGraph& graph, const ExecutorOptions& options)
       : graph_(graph), options_(options), remaining_(graph.num_tasks()) {
     indegree_.reserve(graph.num_tasks());
     for (TaskId t = 0; t < graph.num_tasks(); ++t) {
@@ -51,10 +79,7 @@ class Run {
       std::unique_lock lk(mu_);
       for (TaskId t : graph_.roots()) ready_.push_back(t);
     }
-    std::size_t n = options_.num_threads;
-    if (n == 0) n = std::thread::hardware_concurrency();
-    if (n == 0) n = 4;
-    n = std::min<std::size_t>(n, std::max<std::size_t>(graph_.num_tasks(), 1));
+    const std::size_t n = resolve_thread_count(options_, graph_.num_tasks());
 
     std::vector<std::thread> workers;
     workers.reserve(n);
@@ -118,14 +143,22 @@ class Run {
         if (options_.capture_trace) {
           trace_.push_back(TaskTraceEntry{id, worker, t0, t1});
         }
+        std::size_t newly_ready = 0;
         for (TaskId succ : task.successors) {
           MPGEO_ASSERT(indegree_[succ] > 0);
-          if (--indegree_[succ] == 0) ready_.push_back(succ);
+          if (--indegree_[succ] == 0) {
+            ready_.push_back(succ);
+            ++newly_ready;
+          }
         }
         MPGEO_ASSERT(remaining_ > 0);
         --remaining_;
-        if (remaining_ == 0 || !ready_.empty() || first_error_) {
-          cv_.notify_all();
+        if (remaining_ == 0 || first_error_) {
+          cv_.notify_all();  // quiesce: every waiter must observe termination
+        } else {
+          // One waiter per newly-ready task; waking the whole pool on every
+          // retire (the seed's old behaviour) stampedes the ready lock.
+          for (std::size_t i = 0; i < newly_ready; ++i) cv_.notify_one();
         }
       }
     }
@@ -143,11 +176,263 @@ class Run {
   std::vector<TaskTraceEntry> trace_;
 };
 
+// ---------------------------------------------------------------------------
+// Work-stealing scheduler.
+//
+// Each worker owns kNumClasses deques bucketed by kind class. The owner
+// pushes and pops at the back of its lowest nonempty bucket (LIFO: a task's
+// successors touch the tiles it just wrote, so depth-first execution reuses
+// cache); thieves take from the front of a victim's lowest nonempty bucket
+// (FIFO: the oldest task is the root of the largest unexplored subgraph, so
+// a steal amortizes over the most future work). Bucket selection replaces
+// the seed's O(|ready|) priority scan with an O(kNumClasses) probe.
+//
+// Dependency retirement is lock-free: indegrees are std::atomic<uint32_t>
+// and the worker whose fetch_sub reaches zero owns the successor and pushes
+// it locally. Per-worker state is only ever locked by the owner or by one
+// thief at a time, so contention is per-victim, not global.
+//
+// Idle workers park on a per-worker condvar registered in a small parking
+// lot; a retire that frees tasks wakes exactly as many sleepers as there are
+// surplus tasks (targeted notify_one on the chosen sleeper's condvar — no
+// broadcast). Termination is detected by an atomic count of unretired
+// tasks; the worker that retires the last task wakes everyone.
+//
+// Traces are captured into per-worker buffers with no synchronization and
+// merged after the pool quiesces (thread join gives the happens-before
+// edge), so capture_trace no longer serializes workers.
+// ---------------------------------------------------------------------------
+
+class WorkStealingRun {
+ public:
+  WorkStealingRun(const TaskGraph& graph, const ExecutorOptions& options)
+      : graph_(graph),
+        options_(options),
+        remaining_(graph.num_tasks()),
+        indegree_(std::make_unique<std::atomic<std::uint32_t>[]>(
+            graph.num_tasks())) {
+    for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+      indegree_[t].store(graph.task(t).num_predecessors,
+                         std::memory_order_relaxed);
+    }
+  }
+
+  ExecutionReport run() {
+    const std::size_t n = resolve_thread_count(options_, graph_.num_tasks());
+    workers_ = std::vector<WorkerState>(n);
+
+    // Seed the roots round-robin so every worker starts with local work.
+    std::size_t w = 0;
+    for (TaskId t : graph_.roots()) {
+      push_local(workers_[w], t);
+      w = (w + 1) % n;
+    }
+
+    Stopwatch clock;
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      threads.emplace_back([this, i, &clock] { worker_loop(i, clock); });
+    }
+    for (auto& t : threads) t.join();
+
+    if (first_error_) std::rethrow_exception(first_error_);
+
+    ExecutionReport report;
+    report.tasks_run = graph_.num_tasks();
+    report.wall_seconds = clock.seconds();
+    if (options_.capture_trace) {
+      std::size_t total = 0;
+      for (const WorkerState& ws : workers_) total += ws.trace.size();
+      report.trace.reserve(total);
+      for (WorkerState& ws : workers_) {
+        report.trace.insert(report.trace.end(), ws.trace.begin(),
+                            ws.trace.end());
+      }
+    }
+    return report;
+  }
+
+ private:
+  struct alignas(64) WorkerState {
+    std::mutex mu;  ///< guards buckets; taken by the owner and one thief
+    std::array<std::deque<TaskId>, kNumClasses> buckets;
+    std::atomic<int> approx_size{0};  ///< lock-free "worth stealing?" probe
+    std::condition_variable park_cv;  ///< targeted wakeup (waits on park_mu_)
+    bool wake_signal = false;         ///< guarded by park_mu_
+    std::vector<TaskTraceEntry> trace;  ///< owner-only until quiesce
+  };
+
+  int bucket_of(TaskId id) const {
+    return options_.use_priorities ? kind_class(graph_.task(id).info.kind) : 0;
+  }
+
+  void push_local(WorkerState& ws, TaskId id) {
+    {
+      std::lock_guard lk(ws.mu);
+      ws.buckets[std::size_t(bucket_of(id))].push_back(id);
+      ws.approx_size.fetch_add(1, std::memory_order_relaxed);
+    }
+    queued_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  bool pop_local(WorkerState& ws, TaskId& id) {
+    std::lock_guard lk(ws.mu);
+    for (auto& bucket : ws.buckets) {
+      if (!bucket.empty()) {
+        id = bucket.back();  // LIFO: hottest data first
+        bucket.pop_back();
+        ws.approx_size.fetch_sub(1, std::memory_order_relaxed);
+        queued_.fetch_sub(1, std::memory_order_seq_cst);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool try_steal(std::size_t self, TaskId& id) {
+    const std::size_t n = workers_.size();
+    for (std::size_t hop = 1; hop < n; ++hop) {
+      WorkerState& victim = workers_[(self + hop) % n];
+      if (victim.approx_size.load(std::memory_order_relaxed) <= 0) continue;
+      std::lock_guard lk(victim.mu);
+      for (auto& bucket : victim.buckets) {
+        if (!bucket.empty()) {
+          id = bucket.front();  // FIFO: oldest task, largest subgraph
+          bucket.pop_front();
+          victim.approx_size.fetch_sub(1, std::memory_order_relaxed);
+          queued_.fetch_sub(1, std::memory_order_seq_cst);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool done() const {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Park until a wake signal, unless work or termination became visible
+  /// while enlisting (checked under park_mu_, so a pusher either sees this
+  /// sleeper in the lot or the sleeper sees the pusher's queued_ increment).
+  void park(std::size_t self) {
+    WorkerState& ws = workers_[self];
+    std::unique_lock lk(park_mu_);
+    if (done() || queued_.load(std::memory_order_seq_cst) > 0) return;
+    sleepers_.push_back(self);
+    num_sleepers_.store(sleepers_.size(), std::memory_order_seq_cst);
+    ws.wake_signal = false;
+    ws.park_cv.wait(lk, [&ws] { return ws.wake_signal; });
+  }
+
+  /// Wake one parked worker (targeted: only that worker's condvar fires).
+  void wake_one() {
+    if (num_sleepers_.load(std::memory_order_seq_cst) == 0) return;
+    std::lock_guard lk(park_mu_);
+    if (sleepers_.empty()) return;
+    const std::size_t w = sleepers_.back();
+    sleepers_.pop_back();
+    num_sleepers_.store(sleepers_.size(), std::memory_order_seq_cst);
+    workers_[w].wake_signal = true;
+    workers_[w].park_cv.notify_one();
+  }
+
+  void wake_all() {
+    std::lock_guard lk(park_mu_);
+    for (std::size_t w : sleepers_) {
+      workers_[w].wake_signal = true;
+      workers_[w].park_cv.notify_one();
+    }
+    sleepers_.clear();
+    num_sleepers_.store(0, std::memory_order_seq_cst);
+  }
+
+  void worker_loop(std::size_t self, const Stopwatch& clock) {
+    WorkerState& ws = workers_[self];
+    while (!done()) {
+      TaskId id;
+      if (pop_local(ws, id) || try_steal(self, id)) {
+        run_task(self, id, clock);
+        continue;
+      }
+      // Nothing locally and nothing to steal: yield once (another worker may
+      // be mid-retire), then park until a retire frees work.
+      std::this_thread::yield();
+      if (done()) break;
+      if (pop_local(ws, id) || try_steal(self, id)) {
+        run_task(self, id, clock);
+        continue;
+      }
+      park(self);
+    }
+  }
+
+  void run_task(std::size_t self, TaskId id, const Stopwatch& clock) {
+    WorkerState& ws = workers_[self];
+    const Task& task = graph_.task(id);
+    const double t0 = clock.seconds();
+    if (task.body && !has_error_.load(std::memory_order_acquire)) {
+      try {
+        task.body();
+      } catch (...) {
+        std::lock_guard lk(err_mu_);
+        if (!first_error_) {
+          first_error_ = std::current_exception();
+          has_error_.store(true, std::memory_order_release);
+        }
+      }
+    }
+    if (options_.capture_trace) {
+      ws.trace.push_back(TaskTraceEntry{id, self, t0, clock.seconds()});
+    }
+
+    // Retire: lock-free indegree decrement; the decrement that reaches zero
+    // transfers ownership of the successor to this worker.
+    std::size_t freed = 0;
+    for (TaskId succ : task.successors) {
+      if (indegree_[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        push_local(ws, succ);
+        ++freed;
+      }
+    }
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      wake_all();  // last retire: quiesce the pool
+      return;
+    }
+    // Keep one freed task for ourselves (we pop it next iteration); surplus
+    // tasks get one targeted wakeup each so thieves come for them.
+    for (std::size_t i = 1; i < freed; ++i) wake_one();
+    if (freed == 1 && ws.approx_size.load(std::memory_order_relaxed) > 1) {
+      wake_one();  // backlog behind the task we kept: invite a thief
+    }
+  }
+
+  const TaskGraph& graph_;
+  const ExecutorOptions& options_;
+  std::atomic<std::size_t> remaining_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> indegree_;
+  std::vector<WorkerState> workers_;
+  /// Count of queued-but-unclaimed tasks; the park/wake handshake keys off
+  /// it (seq_cst so a parker's check and a pusher's increment are ordered).
+  std::atomic<std::int64_t> queued_{0};
+  std::mutex park_mu_;
+  std::vector<std::size_t> sleepers_;
+  std::atomic<std::size_t> num_sleepers_{0};
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+  std::atomic<bool> has_error_{false};
+};
+
 }  // namespace
 
 ExecutionReport execute(const TaskGraph& graph, const ExecutorOptions& options) {
   if (graph.num_tasks() == 0) return {};
-  Run run(graph, options);
+  if (options.use_work_stealing) {
+    WorkStealingRun run(graph, options);
+    return run.run();
+  }
+  SeedRun run(graph, options);
   return run.run();
 }
 

@@ -31,11 +31,17 @@ struct ExecutionReport {
 struct ExecutorOptions {
   std::size_t num_threads = 0;  ///< 0 = hardware concurrency
   bool capture_trace = false;
-  /// Pick ready tasks by PaRSEC-style priority (panel kinds before trailing
-  /// updates, earlier iterations first) instead of LIFO. Numerics are
-  /// identical either way — conflicts are ordered by dataflow edges — but
-  /// priorities shorten the critical path on factorization graphs.
+  /// Prefer panel kinds (POTRF/TRSM) over trailing updates when picking the
+  /// next ready task. Numerics are identical either way — conflicts are
+  /// ordered by dataflow edges — but priorities shorten the critical path on
+  /// factorization graphs. Under work stealing this selects among per-worker
+  /// kind-class buckets in O(1); the seed scheduler realizes it as an
+  /// O(|ready|) scan.
   bool use_priorities = true;
+  /// Schedule with per-worker deques + work stealing (the scalable path).
+  /// false falls back to the seed single-queue scheduler, kept for A/B
+  /// comparison in bench_scheduler and as a behavioural reference.
+  bool use_work_stealing = true;
 };
 
 /// Run every task body in dependency order, in parallel. Graph tasks with a

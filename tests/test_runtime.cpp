@@ -11,6 +11,10 @@
 
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/mp_cholesky.hpp"
+#include "core/tile_matrix.hpp"
+#include "linalg/matrix.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/trace.hpp"
@@ -321,6 +325,276 @@ TEST(Trace, EscapesSpecialCharacters) {
   std::ostringstream os;
   write_chrome_trace(rep, g, os);
   EXPECT_NE(os.str().find("weird\\\"name\\\\here"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler stress suite: randomized DAG shapes run under every scheduler
+// configuration (work stealing on/off × priorities on/off) and several
+// thread counts. Each task body checks that all its predecessors retired
+// before it started — the core scheduling invariant — and a counter checks
+// every body ran exactly once.
+// ---------------------------------------------------------------------------
+
+struct SchedulerConfig {
+  bool work_stealing;
+  bool priorities;
+};
+
+const SchedulerConfig kSchedulerConfigs[] = {
+    {false, false}, {false, true}, {true, false}, {true, true}};
+
+/// Run `graph` and verify dependency order + exactly-once execution.
+/// `preds` / `runs` must be the vectors the task bodies were wired to.
+void check_execution(const TaskGraph& graph,
+                     const std::vector<std::vector<TaskId>>& preds,
+                     std::vector<std::atomic<int>>& runs,
+                     const SchedulerConfig& cfg, std::size_t threads) {
+  for (auto& r : runs) r.store(0);
+  ExecutorOptions opts;
+  opts.num_threads = threads;
+  opts.use_work_stealing = cfg.work_stealing;
+  opts.use_priorities = cfg.priorities;
+  const ExecutionReport rep = execute(graph, opts);
+  EXPECT_EQ(rep.tasks_run, graph.num_tasks());
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    EXPECT_EQ(runs[std::size_t(t)].load(), 1) << "task " << t;
+  }
+  (void)preds;
+}
+
+/// Wire bodies that record completion and assert every predecessor finished.
+/// preds is filled from the graph's edges after construction (bodies capture
+/// it by reference, so it must outlive execution).
+void wire_invariant_bodies(TaskGraph& graph,
+                           std::vector<std::vector<TaskId>>& preds,
+                           std::vector<std::atomic<int>>& runs) {
+  const std::size_t n = graph.num_tasks();
+  preds.assign(n, {});
+  for (const Edge& e : graph.edges()) preds[e.to].push_back(e.from);
+  for (TaskId t = 0; t < n; ++t) {
+    graph.task(t).body = [t, &preds, &runs] {
+      for (TaskId p : preds[t]) {
+        ASSERT_EQ(runs[p].load(std::memory_order_acquire), 1)
+            << "task " << t << " started before predecessor " << p;
+      }
+      runs[t].fetch_add(1, std::memory_order_acq_rel);
+    };
+  }
+}
+
+KernelKind random_kind(Rng& rng) {
+  constexpr KernelKind kinds[] = {KernelKind::POTRF, KernelKind::TRSM,
+                                  KernelKind::SYRK, KernelKind::GEMM,
+                                  KernelKind::CONVERT, KernelKind::CUSTOM};
+  return kinds[std::size_t(rng.uniform(0.0, 6.0)) % 6];
+}
+
+TEST(ExecutorStress, RandomizedDagsAllConfigs) {
+  // Random DAGs: each task touches 1-3 random data with random access modes,
+  // so the dependence analyzer produces irregular fan-in/fan-out.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    TaskGraph g;
+    std::vector<DataId> data;
+    for (int d = 0; d < 12; ++d) data.push_back(g.add_data(datum("d")));
+    const std::size_t num_tasks = 150;
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      TaskInfo info = named("t" + std::to_string(t));
+      info.kind = random_kind(rng);
+      info.tk = int(t % 17);
+      const int width = 1 + int(rng.uniform(0.0, 3.0));
+      std::vector<Access> acc;
+      std::set<DataId> used;
+      for (int a = 0; a < width; ++a) {
+        const DataId d = data[std::size_t(rng.uniform(0.0, 12.0)) % 12];
+        if (!used.insert(d).second) continue;
+        const double mode = rng.uniform(0.0, 3.0);
+        acc.push_back({d, mode < 1.0 ? AccessMode::Read
+                                     : (mode < 2.0 ? AccessMode::Write
+                                                   : AccessMode::ReadWrite)});
+      }
+      g.add_task(info, acc);
+    }
+    g.validate();
+    std::vector<std::vector<TaskId>> preds;
+    std::vector<std::atomic<int>> runs(num_tasks);
+    wire_invariant_bodies(g, preds, runs);
+    for (const SchedulerConfig& cfg : kSchedulerConfigs) {
+      for (std::size_t threads : {1u, 2u, 8u}) {
+        check_execution(g, preds, runs, cfg, threads);
+      }
+    }
+  }
+}
+
+TEST(ExecutorStress, WideDeepAndDiamondShapes) {
+  auto wide = [] {
+    TaskGraph g;
+    for (int c = 0; c < 200; ++c) {
+      const DataId d = g.add_data(datum("w"));
+      g.add_task(named("t"), {{d, AccessMode::Write}});
+    }
+    return g;
+  };
+  auto deep = [] {
+    TaskGraph g;
+    const DataId d = g.add_data(datum("chain"));
+    for (int i = 0; i < 200; ++i) {
+      g.add_task(named("t"), {{d, AccessMode::ReadWrite}});
+    }
+    return g;
+  };
+  auto diamond = [] {
+    TaskGraph g;
+    const DataId hub = g.add_data(datum("hub"));
+    std::vector<DataId> mids;
+    for (int c = 0; c < 16; ++c) mids.push_back(g.add_data(datum("m")));
+    for (int l = 0; l < 8; ++l) {
+      g.add_task(named("src"), {{hub, AccessMode::Write}});
+      std::vector<Access> sink{{hub, AccessMode::ReadWrite}};
+      for (DataId m : mids) {
+        g.add_task(named("mid"),
+                   {{hub, AccessMode::Read}, {m, AccessMode::Write}});
+        sink.push_back({m, AccessMode::Read});
+      }
+      g.add_task(named("sink"), sink);
+    }
+    return g;
+  };
+  for (auto maker : {+wide, +deep, +diamond}) {
+    TaskGraph g = maker();
+    std::vector<std::vector<TaskId>> preds;
+    std::vector<std::atomic<int>> runs(g.num_tasks());
+    wire_invariant_bodies(g, preds, runs);
+    for (const SchedulerConfig& cfg : kSchedulerConfigs) {
+      for (std::size_t threads : {1u, 4u, 16u}) {
+        check_execution(g, preds, runs, cfg, threads);
+      }
+    }
+  }
+}
+
+TEST(ExecutorStress, MoreThreadsThanTasks) {
+  for (const SchedulerConfig& cfg : kSchedulerConfigs) {
+    TaskGraph g;
+    const DataId x = g.add_data(datum("x"));
+    std::atomic<int> count{0};
+    for (int i = 0; i < 3; ++i) {
+      g.add_task(named("t"), {{x, AccessMode::ReadWrite}},
+                 [&count] { count.fetch_add(1); });
+    }
+    ExecutorOptions opts;
+    opts.num_threads = 32;  // far more than the 3 tasks
+    opts.use_work_stealing = cfg.work_stealing;
+    opts.use_priorities = cfg.priorities;
+    const ExecutionReport rep = execute(g, opts);
+    EXPECT_EQ(count.load(), 3);
+    EXPECT_EQ(rep.tasks_run, 3u);
+  }
+}
+
+TEST(ExecutorStress, ExceptionMidGraphWithStealing) {
+  // A fan-out where one mid-level task throws while its siblings are being
+  // stolen: the first exception must propagate, every scheduler config must
+  // still quiesce, and no body may run after its predecessors were skipped
+  // out of order (bodies of unaffected tasks may or may not run — the
+  // executor only guarantees the error surfaces and the pool drains).
+  for (const SchedulerConfig& cfg : kSchedulerConfigs) {
+    TaskGraph g;
+    const DataId hub = g.add_data(datum("hub"));
+    g.add_task(named("src"), {{hub, AccessMode::Write}});
+    for (int c = 0; c < 32; ++c) {
+      const DataId d = g.add_data(datum("m"));
+      if (c == 13) {
+        g.add_task(named("boom"),
+                   {{hub, AccessMode::Read}, {d, AccessMode::Write}},
+                   [] { throw Error("boom"); });
+      } else {
+        g.add_task(named("mid"),
+                   {{hub, AccessMode::Read}, {d, AccessMode::Write}}, [] {});
+      }
+    }
+    ExecutorOptions opts;
+    opts.num_threads = 8;
+    opts.use_work_stealing = cfg.work_stealing;
+    opts.use_priorities = cfg.priorities;
+    EXPECT_THROW(execute(g, opts), Error) << "ws=" << cfg.work_stealing;
+  }
+}
+
+TEST(ExecutorStress, TraceMergeCoversEveryTaskUnderStealing) {
+  TaskGraph g;
+  const DataId hub = g.add_data(datum("hub"));
+  g.add_task(named("src"), {{hub, AccessMode::Write}});
+  for (int c = 0; c < 64; ++c) {
+    const DataId d = g.add_data(datum("m"));
+    g.add_task(named("mid"), {{hub, AccessMode::Read}, {d, AccessMode::Write}},
+               [] {});
+  }
+  ExecutorOptions opts;
+  opts.num_threads = 8;
+  opts.capture_trace = true;
+  opts.use_work_stealing = true;
+  const ExecutionReport rep = execute(g, opts);
+  ASSERT_EQ(rep.trace.size(), 65u);
+  std::set<TaskId> seen;
+  for (const auto& e : rep.trace) {
+    EXPECT_LE(e.start_seconds, e.end_seconds);
+    seen.insert(e.task);
+  }
+  EXPECT_EQ(seen.size(), 65u);  // merged per-worker buffers, no loss, no dupes
+}
+
+TEST(ExecutorStress, FactorizationBitIdenticalAcrossSchedulers) {
+  // The determinism contract: scheduling policy must not change numerics,
+  // because every conflicting tile access is ordered by a dataflow edge.
+  // Factor the same SPD tile matrix under all four scheduler configs and
+  // demand bit-identical factors.
+  auto factor = [](const SchedulerConfig& cfg) {
+    Rng rng(99);
+    const std::size_t n = 48, nb = 16;
+    Matrix<double> b(n, n);
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) b(i, j) = rng.uniform(-1.0, 1.0);
+    Matrix<double> spd(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double acc = (i == j) ? double(n) : 0.0;
+        for (std::size_t q = 0; q < n; ++q) acc += b(i, q) * b(j, q);
+        spd(i, j) = acc;
+        spd(j, i) = acc;
+      }
+    }
+    TileMatrix tiles(n, nb);
+    std::vector<double> buf;
+    for (std::size_t m = 0; m < tiles.num_tiles(); ++m) {
+      for (std::size_t k = 0; k <= m; ++k) {
+        AnyTile& t = tiles.tile(m, k);
+        buf.resize(t.size());
+        for (std::size_t j = 0; j < t.cols(); ++j)
+          for (std::size_t i = 0; i < t.rows(); ++i)
+            buf[i + j * t.rows()] = spd(m * nb + i, k * nb + j);
+        t.from_double(buf);
+      }
+    }
+    MpCholeskyOptions opts;
+    opts.ladder = {Precision::FP64};
+    opts.num_threads = 8;
+    opts.use_work_stealing = cfg.work_stealing;
+    opts.use_priorities = cfg.priorities;
+    const MpCholeskyResult r = mp_cholesky(tiles, opts);
+    EXPECT_EQ(r.info, 0);
+    const Matrix<double> dense = tiles.to_dense();
+    return std::vector<double>(dense.data(), dense.data() + n * n);
+  };
+  const std::vector<double> reference = factor(kSchedulerConfigs[0]);
+  for (std::size_t c = 1; c < 4; ++c) {
+    const std::vector<double> other = factor(kSchedulerConfigs[c]);
+    ASSERT_EQ(reference.size(), other.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(reference[i], other[i]) << "config " << c << " element " << i;
+    }
+  }
 }
 
 TEST(Executor, SingleThreadMatchesMultiThreadResult) {
