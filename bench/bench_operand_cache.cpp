@@ -1,0 +1,245 @@
+// End-to-end A/B of the convert-once operand cache on a mixed-precision tile
+// Cholesky — the shared-memory analogue of the paper's STC experiment.
+//
+// Uncached, every GEMM widens + input-rounds both panel operands itself:
+// O(NT^3) conversions for NT tile rows. Cached, the first consumer of a
+// panel tile packs it and every later SYRK/GEMM reuses the pack read-only:
+// O(NT^2) fills. The factor is bit-identical either way (asserted below) —
+// the cache moves conversion work, never values.
+//
+// Reports median-of-R wall times, the speedup, per-variant conversion
+// counts against their NT^2/NT^3 reference curves, and the cache counters.
+// Accepts `--json <path>` for machine-readable output.
+//
+// This is a plain main()-style bench (no google-benchmark): the A/B needs
+// per-run counter resets and a cross-variant bit-identity check, which the
+// fixture API makes awkward.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "core/mp_cholesky.hpp"
+#include "core/tile_matrix.hpp"
+#include "linalg/matrix.hpp"
+#include "precision/convert.hpp"
+
+namespace {
+
+using namespace mpgeo;
+
+/// Well-conditioned random SPD tile matrix (Gram of a random square factor,
+/// diagonal shift n, exponential tile-norm decay off the diagonal so the
+/// Higham–Mary rule assigns a genuinely mixed precision map). Same recipe as
+/// the accuracy tests; no dense oracle kept — the bench compares factors
+/// against each other, not against FP64.
+TileMatrix random_spd_tiles(std::size_t n, std::size_t nb, double decay_rate,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<double> b(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) b(i, j) = rng.uniform(-1.0, 1.0);
+  Matrix<double> dense(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = (i == j) ? double(n) : 0.0;
+      for (std::size_t q = 0; q < n; ++q) acc += b(i, q) * b(j, q);
+      const double decay =
+          std::exp(-decay_rate * std::fabs(double(i / nb) - double(j / nb)));
+      acc *= (i / nb == j / nb) ? 1.0 : decay;
+      dense(i, j) = acc;
+      dense(j, i) = acc;
+    }
+  }
+  TileMatrix tiles(n, nb);
+  std::vector<double> buf;
+  for (std::size_t m = 0; m < tiles.num_tiles(); ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      AnyTile& t = tiles.tile(m, k);
+      buf.resize(t.size());
+      for (std::size_t j = 0; j < t.cols(); ++j)
+        for (std::size_t i = 0; i < t.rows(); ++i)
+          buf[i + j * t.rows()] = dense(m * nb + i, k * nb + j);
+      t.from_double(buf);
+    }
+  }
+  return tiles;
+}
+
+/// Bitwise factor comparison (widened values are injective images of the
+/// FP64/FP32 storage, so equality here is storage bit-identity).
+bool factors_identical(const TileMatrix& a, const TileMatrix& b) {
+  std::vector<double> wa, wb;
+  for (std::size_t m = 0; m < a.num_tiles(); ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      const AnyTile& ta = a.tile(m, k);
+      const AnyTile& tb = b.tile(m, k);
+      if (ta.storage() != tb.storage()) return false;
+      wa.resize(ta.size());
+      wb.resize(tb.size());
+      ta.to_double(wa);
+      tb.to_double(wb);
+      if (std::memcmp(wa.data(), wb.data(), wa.size() * sizeof(double)) != 0)
+        return false;
+    }
+  }
+  return true;
+}
+
+struct VariantResult {
+  double median_ms = 0.0;
+  std::vector<double> times_ms;
+  std::uint64_t conversions = 0;  ///< operand packs/widens per factorization
+  OperandCache::Stats cache;
+  PrecisionMap pmap;
+  TileMatrix factor{1, 1};  ///< first-rep factored tiles (for bit-identity)
+};
+
+/// One timed factorization of a copy of `pristine`.
+double run_once(const TileMatrix& pristine, bool cached, std::size_t threads,
+                double u_req, VariantResult* out) {
+  TileMatrix work = pristine;
+  MpCholeskyOptions opts;
+  opts.u_req = u_req;
+  opts.num_threads = threads;
+  opts.use_operand_cache = cached;
+  reset_operand_conversion_count();
+  Stopwatch sw;
+  const MpCholeskyResult res = mp_cholesky(work, opts);
+  const double ms = sw.seconds() * 1e3;
+  if (res.info != 0) {
+    std::fprintf(stderr, "factorization broke down (info=%d)\n", res.info);
+    std::exit(1);
+  }
+  if (out && out->factor.n() <= 1) {
+    out->conversions = operand_conversion_count();
+    out->cache = res.operand_cache;
+    out->pmap = res.pmap;
+    out->factor = std::move(work);
+  }
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = mpgeo::bench::json_path_from_args(argc, argv);
+  // Default problem shape: tile <= 64 and >= 4 threads per the reproduction
+  // target; decay/u_req chosen so the Higham–Mary rule spreads the GEMMs
+  // across FP32/FP16_32/FP16 (the mix is printed below).
+  std::size_t n = 1536, nb = 48, threads = 4;
+  int reps = 3;
+  double u_req = 1e-6;
+  double decay = 0.2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::size_t& dst) {
+      if (i + 1 < argc) dst = std::size_t(std::stoul(argv[++i]));
+    };
+    if (arg == "--n") next(n);
+    else if (arg == "--nb") next(nb);
+    else if (arg == "--threads") next(threads);
+    else if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
+    else if (arg == "--u_req" && i + 1 < argc) u_req = std::atof(argv[++i]);
+    else if (arg == "--decay" && i + 1 < argc) decay = std::atof(argv[++i]);
+  }
+  const std::size_t nt = (n + nb - 1) / nb;
+
+  std::printf("operand-cache A/B: n=%zu nb=%zu (NT=%zu) threads=%zu u_req=%g "
+              "decay=%g reps=%d\n\n",
+              n, nb, nt, threads, u_req, decay, reps);
+  const TileMatrix pristine = random_spd_tiles(n, nb, decay, /*seed=*/17);
+
+  // One untimed warmup per variant (first-touch paging, code warmup and
+  // frequency ramp cost up to 1.7x on this class of machine), then interleaved
+  // uncached/cached pairs so slow drift hits both variants equally.
+  VariantResult off, on;
+  run_once(pristine, false, threads, u_req, &off);
+  run_once(pristine, true, threads, u_req, &on);
+  for (int r = 0; r < reps; ++r) {
+    off.times_ms.push_back(run_once(pristine, false, threads, u_req, nullptr));
+    on.times_ms.push_back(run_once(pristine, true, threads, u_req, nullptr));
+  }
+  // Headline speedup = median of the per-pair ratios: machine-load drift is
+  // slow relative to one pair, so it cancels inside each ratio where a
+  // ratio-of-medians would keep it.
+  std::vector<double> ratios;
+  for (int r = 0; r < reps; ++r)
+    ratios.push_back(off.times_ms[r] / on.times_ms[r]);
+  std::sort(ratios.begin(), ratios.end());
+  const double speedup = ratios[ratios.size() / 2];
+  for (VariantResult* v : {&off, &on}) {
+    std::sort(v->times_ms.begin(), v->times_ms.end());
+    v->median_ms = v->times_ms[v->times_ms.size() / 2];
+  }
+
+  if (!factors_identical(off.factor, on.factor)) {
+    std::fprintf(stderr, "FAIL: cached factor is not bit-identical\n");
+    return 1;
+  }
+
+  // GEMM-weighted ladder mix: output tile (m, j) receives j updates, all at
+  // its kernel precision — this is where the factorization spends its time.
+  {
+    std::map<Precision, double> mix;
+    double total = 0.0;
+    for (std::size_t m = 1; m < nt; ++m) {
+      for (std::size_t j = 1; j < m; ++j) {
+        mix[on.pmap.kernel(m, j)] += double(j);
+        total += double(j);
+      }
+    }
+    std::printf("GEMM mix:");
+    for (const auto& [p, w] : mix)
+      std::printf("  %s %.0f%%", to_string(p).c_str(), 100.0 * w / total);
+    std::printf("\n\n");
+  }
+
+  // Reference curves: uncached GEMMs convert two operands each -> O(NT^3);
+  // cached fills are one pack per (tile, precision) -> O(NT^2).
+  const double nt3 = double(nt) * nt * nt / 6.0;  // ~GEMM count
+  const double nt2 = double(nt) * (nt + 1) / 2.0; // ~tile count
+
+  std::printf("%-22s %12s %14s %10s %10s\n", "variant", "median ms",
+              "conversions", "hits", "evicted");
+  std::printf("%-22s %12.2f %14llu %10s %10s\n", "uncached", off.median_ms,
+              (unsigned long long)off.conversions, "-", "-");
+  std::printf("%-22s %12.2f %14llu %10llu %10llu\n", "cached", on.median_ms,
+              (unsigned long long)on.conversions,
+              (unsigned long long)on.cache.hits,
+              (unsigned long long)on.cache.evictions);
+  std::printf("\nspeedup (median of %d interleaved pairs): %.2fx\n", reps,
+              speedup);
+  std::printf("factor bit-identity:         OK\n");
+  std::printf("conversion scaling:          uncached/NT^3 = %.2f  "
+              "cached/NT^2 = %.2f\n",
+              double(off.conversions) / nt3, double(on.conversions) / nt2);
+  std::printf("cache peak bytes:            %.1f MiB\n",
+              double(on.cache.peak_bytes) / double(1 << 20));
+
+  if (!json_path.empty()) {
+    mpgeo::bench::JsonWriter writer;
+    auto& ru = writer.add("mp_cholesky/uncached", "ms");
+    ru.metrics.emplace_back("real_time", off.median_ms);
+    ru.metrics.emplace_back("conversions", double(off.conversions));
+    auto& rc = writer.add("mp_cholesky/cached", "ms");
+    rc.metrics.emplace_back("real_time", on.median_ms);
+    rc.metrics.emplace_back("conversions", double(on.conversions));
+    rc.metrics.emplace_back("cache_hits", double(on.cache.hits));
+    rc.metrics.emplace_back("cache_misses", double(on.cache.misses));
+    rc.metrics.emplace_back("cache_evictions", double(on.cache.evictions));
+    rc.metrics.emplace_back("cache_peak_bytes", double(on.cache.peak_bytes));
+    auto& rs = writer.add("mp_cholesky/speedup", "x");
+    rs.metrics.emplace_back("value", speedup);
+    rs.metrics.emplace_back("nt", double(nt));
+    rs.metrics.emplace_back("bit_identical", 1.0);
+    if (!writer.write_file(json_path)) return 1;
+  }
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/task_graph.hpp"
 
@@ -148,6 +149,42 @@ BENCHMARK(BM_DiamondEmpty)
     ->Args({1024, 8, 8, 1})
     ->Unit(benchmark::kMillisecond);
 
+/// ConsoleReporter that additionally records every run into a JsonWriter, so
+/// `--json <path>` gets the same numbers the console shows.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(mpgeo::bench::JsonWriter* writer)
+      : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    if (!writer_) return;
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      auto& rec = writer_->add(run.benchmark_name(),
+                               benchmark::GetTimeUnitString(run.time_unit));
+      rec.metrics.emplace_back("real_time", run.GetAdjustedRealTime());
+      rec.metrics.emplace_back("cpu_time", run.GetAdjustedCPUTime());
+      rec.metrics.emplace_back("iterations", double(run.iterations));
+      for (const auto& [name, counter] : run.counters) {
+        rec.metrics.emplace_back(name, double(counter));
+      }
+    }
+  }
+
+ private:
+  mpgeo::bench::JsonWriter* writer_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = mpgeo::bench::json_path_from_args(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  mpgeo::bench::JsonWriter writer;
+  CapturingReporter reporter(json_path.empty() ? nullptr : &writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty() && !writer.write_file(json_path)) return 1;
+  return 0;
+}

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -91,6 +93,91 @@ inline std::string gib(std::size_t bytes) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.2f", double(bytes) / double(1ull << 30));
   return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: every bench accepts `--json <path>` and, when
+// given, dumps its records as {"benchmarks": [{"name": ..., metrics...}]}.
+// Metrics are numeric; CI and plotting scripts consume this directly.
+
+/// One benchmark record: a name, an optional unit tag, and named metrics.
+struct JsonRecord {
+  std::string name;
+  std::string unit;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+class JsonWriter {
+ public:
+  /// Start a record and return it for metric appends.
+  JsonRecord& add(std::string name, std::string unit = "") {
+    records_.push_back(JsonRecord{std::move(name), std::move(unit), {}});
+    return records_.back();
+  }
+
+  /// Convenience: single-metric record.
+  void record(std::string name, double value, std::string unit = "") {
+    add(std::move(name), std::move(unit)).metrics.emplace_back("value", value);
+  }
+
+  bool empty() const { return records_.empty(); }
+
+  /// Write the collected records; returns false (after perror-style note on
+  /// stderr) if the file cannot be opened.
+  bool write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot open --json path '%s'\n",
+                   path.c_str());
+      return false;
+    }
+    out << "{\n  \"benchmarks\": [\n";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      const JsonRecord& rec = records_[r];
+      out << "    {\"name\": \"" << escaped(rec.name) << "\"";
+      if (!rec.unit.empty()) out << ", \"unit\": \"" << escaped(rec.unit) << "\"";
+      for (const auto& [key, value] : rec.metrics) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", value);
+        out << ", \"" << escaped(key) << "\": " << buf;
+      }
+      out << "}" << (r + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.good();
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<JsonRecord> records_;
+};
+
+/// Strip `--json <path>` (or `--json=<path>`) from argv before handing the
+/// remainder to the benchmark library; returns the path, or "" if absent.
+inline std::string json_path_from_args(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
 }
 
 }  // namespace mpgeo::bench

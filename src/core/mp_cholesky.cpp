@@ -1,9 +1,11 @@
 #include "core/mp_cholesky.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "common/error.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/operand_cache.hpp"
 #include "linalg/reference.hpp"
 #include "linalg/tile_kernels.hpp"
 #include "precision/convert.hpp"
@@ -36,6 +38,7 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
   // Register one logical datum per tile.
   TaskGraph graph;
   std::vector<DataId> data(nt * (nt + 1) / 2);
+  std::vector<const AnyTile*> tile_of_datum(data.size());
   auto did = [&](std::size_t m, std::size_t k) {
     return data[m * (m + 1) / 2 + k];
   };
@@ -44,9 +47,23 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
       DataInfo info;
       info.name = "C(" + std::to_string(m) + "," + std::to_string(k) + ")";
       info.bytes = a.tile(m, k).bytes();
-      data[m * (m + 1) / 2 + k] = graph.add_data(info);
+      const DataId id = graph.add_data(info);
+      data[m * (m + 1) / 2 + k] = id;
+      tile_of_datum[id] = &a.tile(m, k);
     }
   }
+
+  // The shared-memory STC: memoize packed operands keyed by the data version
+  // each consumer observes (captured below at insertion time — insertion
+  // order is the graph's sequential order, so the captured version is exactly
+  // the one the task sees at runtime).
+  std::unique_ptr<OperandCache> cache;
+  if (options.use_operand_cache) {
+    cache = std::make_unique<OperandCache>(
+        options.operand_cache_bytes ? options.operand_cache_bytes
+                                    : OperandCache::kDefaultByteBudget);
+  }
+  OperandCache* cache_ptr = cache.get();
 
   // Algorithm 1, right-looking tile Cholesky.
   for (std::size_t k = 0; k < nt; ++k) {
@@ -74,17 +91,18 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
       const Precision trsm_prec = ti.prec;
       const bool stc = options.apply_wire_rounding && cmap.uses_stc(m, k, pmap);
       const Storage wire = wire_storage(cmap.comm(m, k));
+      const std::uint64_t vkk = graph.data_version(did(k, k));
       graph.add_task(
           ti,
           {{did(k, k), AccessMode::Read}, {did(m, k), AccessMode::ReadWrite}},
-          [ckk, cmk, trsm_prec, stc, wire] {
-            trsm_tile(trsm_prec, *ckk, *cmk);
+          [ckk, cmk, trsm_prec, stc, wire, vkk, cache_ptr] {
+            trsm_tile(trsm_prec, TileOperand{ckk, vkk}, *cmk, cache_ptr);
             if (stc) {
               // STC: the broadcast payload is the wire-rounded panel; all
-              // consumers (including the FP64 SYRK) see these values.
-              std::vector<double> buf = cmk->to_double();
-              round_through(buf, wire);
-              cmk->from_double(buf);
+              // consumers (including the FP64 SYRK) see these values. The
+              // rounding happens in the tile's own storage format — no
+              // double round trip — with identical resulting bits.
+              cmk->round_through_wire(wire);
             }
           });
     }
@@ -97,10 +115,13 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
       ti.tk = int(k);
       const AnyTile* cmk = &a.tile(m, k);
       AnyTile* cmm = &a.tile(m, m);
+      const std::uint64_t vmk = graph.data_version(did(m, k));
       graph.add_task(
           ti,
           {{did(m, k), AccessMode::Read}, {did(m, m), AccessMode::ReadWrite}},
-          [cmk, cmm] { syrk_tile(*cmk, *cmm); });
+          [cmk, cmm, vmk, cache_ptr] {
+            syrk_tile(TileOperand{cmk, vmk}, *cmm, cache_ptr);
+          });
     }
     for (std::size_t m = k + 2; m < nt; ++m) {
       for (std::size_t n = k + 1; n < m; ++n) {
@@ -116,11 +137,16 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
         const AnyTile* cnk = &a.tile(n, k);
         AnyTile* cmn = &a.tile(m, n);
         const Precision prec = ti.prec;
+        const std::uint64_t vmk = graph.data_version(did(m, k));
+        const std::uint64_t vnk = graph.data_version(did(n, k));
         graph.add_task(ti,
                        {{did(m, k), AccessMode::Read},
                         {did(n, k), AccessMode::Read},
                         {did(m, n), AccessMode::ReadWrite}},
-                       [cmk, cnk, cmn, prec] { gemm_tile(prec, *cmk, *cnk, *cmn); });
+                       [cmk, cnk, cmn, prec, vmk, vnk, cache_ptr] {
+                         gemm_tile(prec, TileOperand{cmk, vmk},
+                                   TileOperand{cnk, vnk}, *cmn, cache_ptr);
+                       });
       }
     }
   }
@@ -133,11 +159,26 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
   exec_opts.num_threads = options.num_threads;
   exec_opts.use_work_stealing = options.use_work_stealing;
   exec_opts.use_priorities = options.use_priorities;
+  if (cache_ptr) {
+    // Drop packs of any datum a retiring task wrote, before successors can
+    // run. In Cholesky proper every tile is write-finalized before its first
+    // operand read, so this never kills a live entry — but it bounds memory
+    // (dead versions free their bytes immediately) and keeps the cache
+    // correct for any graph shape, including read-write-read patterns.
+    exec_opts.retire_hook = [cache_ptr, &tile_of_datum](const Task& t) {
+      for (const Access& acc : t.accesses) {
+        if (acc.mode != AccessMode::Read) {
+          cache_ptr->invalidate(tile_of_datum[acc.data]);
+        }
+      }
+    };
+  }
   try {
     result.exec = execute(graph, exec_opts);
   } catch (const NotPositiveDefinite& e) {
     result.info = e.info;
   }
+  if (cache_ptr) result.operand_cache = cache_ptr->stats();
   return result;
 }
 
@@ -171,23 +212,29 @@ double logdet_tiled(const TileMatrix& l) {
   return 2.0 * acc;
 }
 
-void forward_solve_tiled(const TileMatrix& l, std::vector<double>& z) {
+void forward_solve_tiled(const TileMatrix& l, std::vector<double>& z,
+                         OperandCache* cache) {
   MPGEO_REQUIRE(z.size() == l.n(), "forward_solve_tiled: size mismatch");
   const std::size_t nt = l.num_tiles();
   const std::size_t nb = l.nb();
   for (std::size_t m = 0; m < nt; ++m) {
     const std::size_t rows = l.tile_rows(m);
     double* zm = z.data() + m * nb;
-    // zm -= L(m,k) * zk for factored panels left of the diagonal.
+    // zm -= L(m,k) * zk for factored panels left of the diagonal. The factor
+    // is immutable across solves, so cached widenings use version 0: inside a
+    // Monte-Carlo or kriging loop each tile is widened once, not per solve.
     for (std::size_t k = 0; k < m; ++k) {
       const AnyTile& t = l.tile(m, k);
-      std::vector<double> buf = t.to_double();
-      gemv_notrans<double>(rows, t.cols(), -1.0, buf.data(), rows,
+      const auto buf =
+          cached_operand(cache, t, 0, PackLayout::Widened, Precision::FP64);
+      gemv_notrans<double>(rows, t.cols(), -1.0, buf->data(), rows,
                            z.data() + k * nb, 1.0, zm);
     }
     const AnyTile& diag = l.tile(m, m);
-    std::vector<double> lbuf = diag.to_double();
-    trsm_left_lower_notrans<double>(rows, 1, 1.0, lbuf.data(), rows, zm, rows);
+    const auto lbuf =
+        cached_operand(cache, diag, 0, PackLayout::Widened, Precision::FP64);
+    trsm_left_lower_notrans<double>(rows, 1, 1.0, lbuf->data(), rows, zm,
+                                    rows);
   }
 }
 

@@ -26,6 +26,7 @@
 #include "core/comm_map.hpp"
 #include "core/precision_map.hpp"
 #include "core/tile_matrix.hpp"
+#include "linalg/operand_cache.hpp"
 #include "runtime/executor.hpp"
 
 namespace mpgeo {
@@ -48,6 +49,13 @@ struct MpCholeskyOptions {
   /// only move wall time; they exist for A/B runs and determinism tests.
   bool use_work_stealing = true;
   bool use_priorities = true;
+  /// Memoize packed + input-rounded kernel operands keyed by data version
+  /// (the shared-memory analogue of STC): the first consumer of a panel tile
+  /// converts it, later SYRK/GEMMs reuse the pack. Bit-identical on/off —
+  /// this knob only moves conversion work, never values.
+  bool use_operand_cache = true;
+  /// Operand-cache byte budget; 0 = OperandCache::kDefaultByteBudget.
+  std::size_t operand_cache_bytes = 0;
 };
 
 struct MpCholeskyResult {
@@ -58,6 +66,8 @@ struct MpCholeskyResult {
   int info = 0;
   ExecutionReport exec;
   std::size_t stored_bytes = 0;  ///< matrix footprint after storage mapping
+  /// Operand-cache counters for this factorization (all-zero when disabled).
+  OperandCache::Stats operand_cache;
 };
 
 /// Factor `a` (generated in FP64) in place: on return the lower triangle
@@ -72,7 +82,12 @@ MpCholeskyResult fp64_cholesky(TileMatrix& a, std::size_t num_threads = 0);
 double logdet_tiled(const TileMatrix& l);
 
 /// Solve L y = z in place (tiled forward substitution); z.size() == l.n().
-void forward_solve_tiled(const TileMatrix& l, std::vector<double>& z);
+/// With a non-null `cache`, each factor tile's widened operand is fetched
+/// from the cache (version 0 — the factor is immutable across solves), so
+/// repeated solves against one factor (Monte Carlo sampling, kriging loops)
+/// widen every tile once instead of once per solve. Bit-identical either way.
+void forward_solve_tiled(const TileMatrix& l, std::vector<double>& z,
+                         OperandCache* cache = nullptr);
 
 /// ||A - L L^T||_F / ||A||_F against a dense FP64 copy of the original
 /// matrix (test/diagnostic helper; O(n^3), small problems only).

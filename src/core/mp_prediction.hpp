@@ -24,12 +24,18 @@
 namespace mpgeo {
 
 /// y = A x for a symmetric TileMatrix holding its lower triangle (FP64
-/// accumulation; tiles widened on the fly).
-std::vector<double> symv_tiled(const TileMatrix& a, std::span<const double> x);
+/// accumulation). With a non-null `cache`, widened tiles are memoized at
+/// version 0 (the matrix must stay unmodified across cached calls); repeated
+/// products against one matrix — iterative-refinement residuals — then widen
+/// each tile once.
+std::vector<double> symv_tiled(const TileMatrix& a, std::span<const double> x,
+                               OperandCache* cache = nullptr);
 
 /// Solve L L^T y = b in place given a factored TileMatrix (forward then
-/// transposed-backward substitution).
-void cholesky_solve_tiled(const TileMatrix& l, std::vector<double>& b);
+/// transposed-backward substitution). `cache` as in forward_solve_tiled:
+/// the factor's widened tiles are memoized across repeated solves.
+void cholesky_solve_tiled(const TileMatrix& l, std::vector<double>& b,
+                          OperandCache* cache = nullptr);
 
 struct MpKrigeOptions {
   double u_req = 1e-9;

@@ -180,10 +180,15 @@ TlrCholeskyResult tlr_cholesky(TlrFactor& a, std::size_t num_threads) {
             const std::size_t rows = a.tile_rows(m);
             const std::size_t r = cmk.rank;
             // G = V^T V (r x r), W = U G (rows x r), C -= W U^T.
-            std::vector<double> g(r * r);
+            // Grow-only per-worker scratch: these bodies run once per task on
+            // a pool thread, and per-task allocation dominated small-rank
+            // updates. Both products write with beta = 0, so stale contents
+            // never leak.
+            thread_local std::vector<double> g, w;
+            g.resize(r * r);
             gemm<double>('T', 'N', r, r, cmk.n, 1.0, cmk.v.data(), cmk.n,
                          cmk.v.data(), cmk.n, 0.0, g.data(), r);
-            std::vector<double> w(rows * r);
+            w.resize(rows * r);
             gemm<double>('N', 'N', rows, r, r, 1.0, cmk.u.data(), rows,
                          g.data(), r, 0.0, w.data(), rows);
             gemm<double>('N', 'T', rows, rows, r, -1.0, w.data(), rows,
@@ -214,7 +219,10 @@ TlrCholeskyResult tlr_cholesky(TlrFactor& a, std::size_t num_threads) {
                          prod.m = cmk.m;
                          prod.n = cnk.m;
                          prod.rank = cnk.rank;
-                         std::vector<double> cross(cmk.rank * cnk.rank);
+                         // Grow-only per-worker scratch (beta = 0 overwrite);
+                         // prod.u stays owned — lowrank_add keeps it.
+                         thread_local std::vector<double> cross;
+                         cross.resize(cmk.rank * cnk.rank);
                          gemm<double>('T', 'N', cmk.rank, cnk.rank, cmk.n, 1.0,
                                       cmk.v.data(), cmk.n, cnk.v.data(), cnk.n,
                                       0.0, cross.data(), cmk.rank);

@@ -36,6 +36,56 @@ std::vector<double> AnyTile::to_double() const {
   return out;
 }
 
+void AnyTile::to_double_transposed(std::span<double> out) const {
+  MPGEO_REQUIRE(out.size() == size(),
+                "AnyTile::to_double_transposed: size mismatch");
+  std::visit(
+      [&](const auto& v) {
+        for (std::size_t i = 0; i < rows_; ++i)
+          for (std::size_t j = 0; j < cols_; ++j)
+            out[j + i * cols_] = static_cast<double>(v[i + j * rows_]);
+      },
+      buf_);
+}
+
+void AnyTile::to_float(std::span<float> out) const {
+  MPGEO_REQUIRE(out.size() == size(), "AnyTile::to_float: size mismatch");
+  std::visit(
+      [&](const auto& v) {
+        for (std::size_t i = 0; i < v.size(); ++i)
+          out[i] = static_cast<float>(v[i]);
+      },
+      buf_);
+}
+
+void AnyTile::to_float_transposed(std::span<float> out) const {
+  MPGEO_REQUIRE(out.size() == size(),
+                "AnyTile::to_float_transposed: size mismatch");
+  std::visit(
+      [&](const auto& v) {
+        for (std::size_t i = 0; i < rows_; ++i)
+          for (std::size_t j = 0; j < cols_; ++j)
+            out[j + i * cols_] = static_cast<float>(v[i + j * rows_]);
+      },
+      buf_);
+}
+
+void AnyTile::round_through_wire(Storage w) {
+  if (bytes_per_element(w) >= bytes_per_element(storage_)) return;
+  if (storage_ == Storage::FP64) {
+    auto& v = std::get<std::vector<double>>(buf_);
+    if (w == Storage::FP32) {
+      for (auto& x : v) x = static_cast<float>(x);
+    } else {
+      round_through_half_n(v.data(), v.size());
+    }
+    return;
+  }
+  // FP32 storage, FP16 wire: round each float through binary16 in place.
+  auto& v = std::get<std::vector<float>>(buf_);
+  for (auto& x : v) x = half_bits_to_float(float_to_half_bits(x));
+}
+
 void AnyTile::from_double(std::span<const double> in) {
   MPGEO_REQUIRE(in.size() == size(), "AnyTile::from_double: size mismatch");
   std::visit(

@@ -4,9 +4,37 @@
 
 #include "common/error.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/operand_cache.hpp"
+#include "precision/convert.hpp"
 #include "precision/mixed_gemm.hpp"
 
 namespace mpgeo {
+namespace {
+
+// Grow-only per-worker scratch for the in-out C tile round trip (the only
+// double staging the cached kernels still do per call).
+std::vector<double>& c_scratch(std::size_t n) {
+  thread_local std::vector<double> c;
+  c.resize(n);
+  return c;
+}
+
+void trsm_solve(Precision prec, std::size_t m, std::size_t n, const double* l,
+                double* b) {
+  if (prec == Precision::FP64) {
+    trsm_right_lower_trans<double>(m, n, 1.0, l, n, b, m);
+    return;
+  }
+  thread_local std::vector<float> lf, bf;
+  lf.resize(n * n);
+  bf.resize(m * n);
+  for (std::size_t i = 0; i < n * n; ++i) lf[i] = static_cast<float>(l[i]);
+  for (std::size_t i = 0; i < m * n; ++i) bf[i] = static_cast<float>(b[i]);
+  trsm_right_lower_trans<float>(m, n, 1.0f, lf.data(), n, bf.data(), m);
+  for (std::size_t i = 0; i < m * n; ++i) b[i] = bf[i];
+}
+
+}  // namespace
 
 int potrf_tile(AnyTile& ckk) {
   MPGEO_REQUIRE(ckk.rows() == ckk.cols(), "potrf_tile: tile must be square");
@@ -22,40 +50,49 @@ int potrf_tile(AnyTile& ckk) {
 }
 
 void trsm_tile(Precision prec, const AnyTile& ckk, AnyTile& cmk) {
+  trsm_tile(prec, TileOperand{&ckk, 0}, cmk, nullptr);
+}
+
+void trsm_tile(Precision prec, TileOperand ckk, AnyTile& cmk,
+               OperandCache* cache) {
   MPGEO_REQUIRE(prec == Precision::FP64 || prec == Precision::FP32,
                 "trsm_tile: GPUs only provide FP64/FP32 TRSM");
-  MPGEO_REQUIRE(ckk.rows() == ckk.cols(), "trsm_tile: Ckk must be square");
-  MPGEO_REQUIRE(cmk.cols() == ckk.rows(), "trsm_tile: shape mismatch");
+  MPGEO_REQUIRE(ckk.tile->rows() == ckk.tile->cols(),
+                "trsm_tile: Ckk must be square");
+  MPGEO_REQUIRE(cmk.cols() == ckk.tile->rows(), "trsm_tile: shape mismatch");
   const std::size_t m = cmk.rows();
   const std::size_t n = cmk.cols();
-  std::vector<double> l = ckk.to_double();
-  std::vector<double> b = cmk.to_double();
-  if (prec == Precision::FP64) {
-    trsm_right_lower_trans<double>(m, n, 1.0, l.data(), n, b.data(), m);
-  } else {
-    std::vector<float> lf(l.size()), bf(b.size());
-    for (std::size_t i = 0; i < l.size(); ++i) lf[i] = static_cast<float>(l[i]);
-    for (std::size_t i = 0; i < b.size(); ++i) bf[i] = static_cast<float>(b[i]);
-    trsm_right_lower_trans<float>(m, n, 1.0f, lf.data(), n, bf.data(), m);
-    for (std::size_t i = 0; i < b.size(); ++i) b[i] = bf[i];
-  }
+  const auto l = cached_operand(cache, *ckk.tile, ckk.version,
+                                PackLayout::Widened, Precision::FP64);
+  auto& b = c_scratch(m * n);
+  cmk.to_double(b);
+  trsm_solve(prec, m, n, l->data(), b.data());
   cmk.from_double(b);
 }
 
 void syrk_tile(const AnyTile& cmk, AnyTile& cmm) {
+  syrk_tile(TileOperand{&cmk, 0}, cmm, nullptr);
+}
+
+void syrk_tile(TileOperand cmk, AnyTile& cmm, OperandCache* cache) {
   MPGEO_REQUIRE(cmm.rows() == cmm.cols(), "syrk_tile: Cmm must be square");
-  MPGEO_REQUIRE(cmk.rows() == cmm.rows(), "syrk_tile: shape mismatch");
+  MPGEO_REQUIRE(cmk.tile->rows() == cmm.rows(), "syrk_tile: shape mismatch");
   const std::size_t n = cmm.rows();
-  const std::size_t k = cmk.cols();
-  std::vector<double> a = cmk.to_double();
-  std::vector<double> c = cmm.to_double();
-  syrk_lower_notrans<double>(n, k, -1.0, a.data(), n, 1.0, c.data(), n);
+  const std::size_t k = cmk.tile->cols();
+  const auto a = cached_operand(cache, *cmk.tile, cmk.version,
+                                PackLayout::Widened, Precision::FP64);
+  auto& c = c_scratch(n * n);
+  cmm.to_double(c);
+  syrk_lower_notrans<double>(n, k, -1.0, a->data(), n, 1.0, c.data(), n);
   symmetrize_from_lower<double>(n, c.data(), n);
   cmm.from_double(c);
 }
 
 void gemm_tile(Precision prec, const AnyTile& cmk, const AnyTile& cnk,
                AnyTile& cmn) {
+  // Cacheless baseline: per-consumer operand preparation, exactly what a
+  // runtime without STC does — each call widens both panels and mixed_gemm
+  // re-packs and re-rounds them.
   MPGEO_REQUIRE(cmk.cols() == cnk.cols(), "gemm_tile: inner dim mismatch");
   MPGEO_REQUIRE(cmn.rows() == cmk.rows() && cmn.cols() == cnk.rows(),
                 "gemm_tile: output shape mismatch");
@@ -63,10 +100,48 @@ void gemm_tile(Precision prec, const AnyTile& cmk, const AnyTile& cnk,
   const std::size_t n = cmn.cols();
   const std::size_t k = cmk.cols();
   std::vector<double> a = cmk.to_double();
+  count_operand_conversion();
   std::vector<double> b = cnk.to_double();
+  count_operand_conversion();
   std::vector<double> c = cmn.to_double();
   mixed_gemm(prec, 'N', 'T', m, n, k, -1.0, a.data(), m, b.data(), n, 1.0,
              c.data(), m);
+  cmn.from_double(c);
+}
+
+void gemm_tile(Precision prec, TileOperand cmk, TileOperand cnk, AnyTile& cmn,
+               OperandCache* cache) {
+  if (cache == nullptr) return gemm_tile(prec, *cmk.tile, *cnk.tile, cmn);
+  MPGEO_REQUIRE(cmk.tile->cols() == cnk.tile->cols(),
+                "gemm_tile: inner dim mismatch");
+  MPGEO_REQUIRE(cmn.rows() == cmk.tile->rows() &&
+                    cmn.cols() == cnk.tile->rows(),
+                "gemm_tile: output shape mismatch");
+  const std::size_t m = cmn.rows();
+  const std::size_t n = cmn.cols();
+  const std::size_t k = cmk.tile->cols();
+  // The A-pack of Cmk and the B-pack of Cnk are both "tile transposed +
+  // input rounding", so one cache entry per (tile, version, prec) serves
+  // either operand role of the trailing update.
+  auto& c = c_scratch(m * n);
+  cmn.to_double(c);
+  if (prec == Precision::FP64) {
+    const auto at = cached_operand(cache, *cmk.tile, cmk.version,
+                                   PackLayout::PackedTrans, prec);
+    const auto bp = cached_operand(cache, *cnk.tile, cnk.version,
+                                   PackLayout::PackedTrans, prec);
+    mixed_gemm_prepacked(prec, m, n, k, -1.0, at->data(), bp->data(), 1.0,
+                         c.data(), m);
+  } else {
+    // Sub-FP64 operands live in float packs: bit-identical after widening,
+    // half the cache bytes and kernel read traffic.
+    const auto at = cached_operand_f32(cache, *cmk.tile, cmk.version,
+                                       PackLayout::PackedTrans, prec);
+    const auto bp = cached_operand_f32(cache, *cnk.tile, cnk.version,
+                                       PackLayout::PackedTrans, prec);
+    mixed_gemm_prepacked(prec, m, n, k, -1.0, at->data(), bp->data(), 1.0,
+                         c.data(), m);
+  }
   cmn.from_double(c);
 }
 

@@ -11,12 +11,31 @@
 // Each kernel widens its operands to double, applies the requested format's
 // rounding semantics, and writes the result back through the output tile's
 // storage format.
+//
+// The TileOperand overloads take an optional OperandCache: read-only operands
+// are then fetched as versioned packed panels, so the first consumer of a
+// panel tile prepares it and every later kernel reuses the pack — the
+// shared-memory analogue of the paper's sender-side conversion. Results are
+// bit-identical to the cacheless overloads (which remain the per-consumer
+// conversion baseline).
 #pragma once
+
+#include <cstdint>
 
 #include "linalg/anytile.hpp"
 #include "precision/precision.hpp"
 
 namespace mpgeo {
+
+class OperandCache;
+
+/// A read-only kernel operand: the tile plus the data version the consumer
+/// observes (from the task graph's dependence analysis; 0 for immutable or
+/// caller-versioned data).
+struct TileOperand {
+  const AnyTile* tile = nullptr;
+  std::uint64_t version = 0;
+};
 
 /// In-place Cholesky of a diagonal tile. Returns LAPACK-style info
 /// (0 = success, j > 0 = leading minor j not positive definite).
@@ -24,12 +43,17 @@ int potrf_tile(AnyTile& ckk);
 
 /// Panel solve. `prec` must be FP64 or FP32 (throws otherwise).
 void trsm_tile(Precision prec, const AnyTile& ckk, AnyTile& cmk);
+void trsm_tile(Precision prec, TileOperand ckk, AnyTile& cmk,
+               OperandCache* cache);
 
 /// Diagonal trailing update, FP64 (the paper's DSYRK).
 void syrk_tile(const AnyTile& cmk, AnyTile& cmm);
+void syrk_tile(TileOperand cmk, AnyTile& cmm, OperandCache* cache);
 
 /// Off-diagonal trailing update at any supported precision.
 void gemm_tile(Precision prec, const AnyTile& cmk, const AnyTile& cnk,
                AnyTile& cmn);
+void gemm_tile(Precision prec, TileOperand cmk, TileOperand cnk, AnyTile& cmn,
+               OperandCache* cache);
 
 }  // namespace mpgeo

@@ -4,23 +4,16 @@
 
 namespace mpgeo {
 
-namespace {
-template <class Src, class Dst>
-void convert_impl(std::span<const Src> src, std::span<Dst> dst) {
-  MPGEO_REQUIRE(src.size() == dst.size(), "convert: size mismatch");
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    dst[i] = Dst(static_cast<float>(src[i]));
-  }
-}
-}  // namespace
-
 void convert(std::span<const double> src, std::span<float> dst) {
   MPGEO_REQUIRE(src.size() == dst.size(), "convert: size mismatch");
   for (std::size_t i = 0; i < src.size(); ++i) dst[i] = static_cast<float>(src[i]);
 }
 
 void convert(std::span<const double> src, std::span<float16> dst) {
-  convert_impl(src, dst);
+  MPGEO_REQUIRE(src.size() == dst.size(), "convert: size mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = float16::from_bits(float_to_half_bits(static_cast<float>(src[i])));
+  }
 }
 
 void convert(std::span<const float> src, std::span<double> dst) {
@@ -29,17 +22,26 @@ void convert(std::span<const float> src, std::span<double> dst) {
 }
 
 void convert(std::span<const float> src, std::span<float16> dst) {
-  convert_impl(src, dst);
+  MPGEO_REQUIRE(src.size() == dst.size(), "convert: size mismatch");
+  // The batch kernel reads/writes raw bits; float16 is a trivially copyable
+  // 16-bit wrapper, so its storage is exactly the bits buffer.
+  static_assert(sizeof(float16) == sizeof(std::uint16_t));
+  float_to_half_bits_n(src.data(), reinterpret_cast<std::uint16_t*>(dst.data()),
+                       src.size());
 }
 
 void convert(std::span<const float16> src, std::span<double> dst) {
   MPGEO_REQUIRE(src.size() == dst.size(), "convert: size mismatch");
-  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = static_cast<double>(src[i]);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = half_bits_to_float(src[i].bits());
+  }
 }
 
 void convert(std::span<const float16> src, std::span<float> dst) {
   MPGEO_REQUIRE(src.size() == dst.size(), "convert: size mismatch");
-  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = static_cast<float>(src[i]);
+  static_assert(sizeof(float16) == sizeof(std::uint16_t));
+  half_bits_to_float_n(reinterpret_cast<const std::uint16_t*>(src.data()),
+                       dst.data(), src.size());
 }
 
 void round_through(std::span<double> buf, Storage s) {
@@ -50,7 +52,7 @@ void round_through(std::span<double> buf, Storage s) {
       for (auto& x : buf) x = static_cast<float>(x);
       return;
     case Storage::FP16:
-      for (auto& x : buf) x = through_half(x);
+      round_through_half_n(buf.data(), buf.size());
       return;
   }
   MPGEO_ASSERT(false);
@@ -71,7 +73,27 @@ void round_inputs(std::span<double> buf, Precision p) {
       return;
     case Precision::FP16_32:
     case Precision::FP16:
-      for (auto& x : buf) x = through_half(x);
+      round_through_half_n(buf.data(), buf.size());
+      return;
+  }
+  MPGEO_ASSERT(false);
+}
+
+void round_inputs(std::span<float> buf, Precision p) {
+  switch (p) {
+    case Precision::FP64:
+      break;  // rejected below: float storage cannot carry FP64 operands
+    case Precision::FP32:
+      return;  // already float
+    case Precision::TF32:
+      for (auto& x : buf) x = round_to_tf32(x);
+      return;
+    case Precision::BF16_32:
+      for (auto& x : buf) x = static_cast<float>(bfloat16(x));
+      return;
+    case Precision::FP16_32:
+    case Precision::FP16:
+      round_through_half_f32_n(buf.data(), buf.size());
       return;
   }
   MPGEO_ASSERT(false);

@@ -6,7 +6,9 @@
 // simulator charges time for them via CostModel::conversion_time.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -14,6 +16,24 @@
 #include "precision/precision.hpp"
 
 namespace mpgeo {
+
+namespace detail {
+inline std::atomic<std::uint64_t> operand_conversions{0};
+}  // namespace detail
+
+/// Process-wide counter of operand-preparation passes (each pack or widen of
+/// one tile operand counts once). The operand cache turns the O(NT^3)
+/// per-consumer passes of the uncached path into O(NT^2) fills; benches read
+/// this counter to show it.
+inline void count_operand_conversion() {
+  detail::operand_conversions.fetch_add(1, std::memory_order_relaxed);
+}
+inline std::uint64_t operand_conversion_count() {
+  return detail::operand_conversions.load(std::memory_order_relaxed);
+}
+inline void reset_operand_conversion_count() {
+  detail::operand_conversions.store(0, std::memory_order_relaxed);
+}
 
 void convert(std::span<const double> src, std::span<float> dst);
 void convert(std::span<const double> src, std::span<float16> dst);
@@ -31,5 +51,12 @@ void round_through(std::span<double> buf, Storage s);
 /// (fp16 for FP16/FP16_32, bf16 for BF16_32, tf32 mantissa for TF32, fp32 for
 /// FP32, identity for FP64). Used to emulate tensor-core input rounding.
 void round_inputs(std::span<double> buf, Precision p);
+
+/// Float-domain input rounding for sub-FP64 precisions (p must not be FP64 —
+/// float cannot carry FP64 operands). Every sub-FP64 rounding chain begins
+/// with a cast to float, so rounding an already-float buffer produces values
+/// that widen to exactly what the double-domain overload yields. This is how
+/// float-stored operand packs stay bit-identical at half the bytes.
+void round_inputs(std::span<float> buf, Precision p);
 
 }  // namespace mpgeo

@@ -1,26 +1,15 @@
 #include "precision/float16.hpp"
 
-#include <cstring>
-
 namespace mpgeo {
-namespace {
 
-std::uint32_t float_bits(float f) {
-  std::uint32_t u;
-  std::memcpy(&u, &f, sizeof u);
-  return u;
-}
+// ---------------------------------------------------------------------------
+// Reference converters: the original branchy scalar implementations, kept
+// verbatim as ground truth. The fast inline kernels in the header must agree
+// with these bit-for-bit (pinned by the converter property tests).
+// ---------------------------------------------------------------------------
 
-float bits_float(std::uint32_t u) {
-  float f;
-  std::memcpy(&f, &u, sizeof f);
-  return f;
-}
-
-}  // namespace
-
-std::uint16_t float_to_half_bits(float f) {
-  const std::uint32_t u = float_bits(f);
+std::uint16_t float_to_half_bits_ref(float f) {
+  const std::uint32_t u = detail::float_bits(f);
   const std::uint32_t sign = (u >> 16) & 0x8000u;
   const std::int32_t exp32 = static_cast<std::int32_t>((u >> 23) & 0xFF);
   std::uint32_t mant = u & 0x007FFFFFu;
@@ -59,16 +48,16 @@ std::uint16_t float_to_half_bits(float f) {
   return static_cast<std::uint16_t>(sign | result);
 }
 
-float half_bits_to_float(std::uint16_t h) {
+float half_bits_to_float_ref(std::uint16_t h) {
   const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
   const std::uint32_t exp16 = (h >> 10) & 0x1Fu;
   std::uint32_t mant = h & 0x3FFu;
 
   if (exp16 == 0x1F) {  // Inf or NaN
-    return bits_float(sign | 0x7F800000u | (mant << 13));
+    return detail::bits_float(sign | 0x7F800000u | (mant << 13));
   }
   if (exp16 == 0) {
-    if (mant == 0) return bits_float(sign);  // +-0
+    if (mant == 0) return detail::bits_float(sign);  // +-0
     // Subnormal: normalize.
     std::int32_t e = -1;
     do {
@@ -76,37 +65,77 @@ float half_bits_to_float(std::uint16_t h) {
       mant <<= 1;
     } while ((mant & 0x400u) == 0);
     mant &= 0x3FFu;
-    return bits_float(sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
-                      (mant << 13));
+    return detail::bits_float(sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+                              (mant << 13));
   }
-  return bits_float(sign | ((exp16 - 15 + 127) << 23) | (mant << 13));
+  return detail::bits_float(sign | ((exp16 - 15 + 127) << 23) | (mant << 13));
 }
 
-bfloat16::bfloat16(float f) {
-  std::uint32_t u = float_bits(f);
-  if (((u >> 23) & 0xFF) == 0xFF && (u & 0x007FFFFF) != 0) {
-    // NaN: keep it a NaN after truncation.
-    bits_ = static_cast<std::uint16_t>((u >> 16) | 0x0040u);
-    return;
+// ---------------------------------------------------------------------------
+// Batched kernels. The loops are written as 4-wide straight-line blocks of
+// the inline converters so the compiler can pipeline the independent integer
+// chains (and vectorize the branch-free sub-paths); the remainder runs the
+// same scalar code, so results are bit-identical to elementwise conversion.
+// ---------------------------------------------------------------------------
+
+void float_to_half_bits_n(const float* src, std::uint16_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint16_t h0 = float_to_half_bits(src[i + 0]);
+    const std::uint16_t h1 = float_to_half_bits(src[i + 1]);
+    const std::uint16_t h2 = float_to_half_bits(src[i + 2]);
+    const std::uint16_t h3 = float_to_half_bits(src[i + 3]);
+    dst[i + 0] = h0;
+    dst[i + 1] = h1;
+    dst[i + 2] = h2;
+    dst[i + 3] = h3;
   }
-  // Round-to-nearest-even on the low 16 bits.
-  const std::uint32_t rounding_bias = 0x7FFFu + ((u >> 16) & 1u);
-  bits_ = static_cast<std::uint16_t>((u + rounding_bias) >> 16);
+  for (; i < n; ++i) dst[i] = float_to_half_bits(src[i]);
 }
 
-bfloat16::operator float() const {
-  return bits_float(static_cast<std::uint32_t>(bits_) << 16);
+void half_bits_to_float_n(const std::uint16_t* src, float* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float f0 = half_bits_to_float(src[i + 0]);
+    const float f1 = half_bits_to_float(src[i + 1]);
+    const float f2 = half_bits_to_float(src[i + 2]);
+    const float f3 = half_bits_to_float(src[i + 3]);
+    dst[i + 0] = f0;
+    dst[i + 1] = f1;
+    dst[i + 2] = f2;
+    dst[i + 3] = f3;
+  }
+  for (; i < n; ++i) dst[i] = half_bits_to_float(src[i]);
 }
 
-float round_to_tf32(float f) {
-  std::uint32_t u = float_bits(f);
-  if (((u >> 23) & 0xFF) == 0xFF) return f;  // Inf/NaN unchanged
-  // Keep 10 mantissa bits: round off the low 13 with RNE.
-  const std::uint32_t rem = u & 0x1FFFu;
-  u &= ~0x1FFFu;
-  const std::uint32_t lsb = u & 0x2000u;
-  if (rem > 0x1000u || (rem == 0x1000u && lsb)) u += 0x2000u;
-  return bits_float(u);
+void round_through_half_n(double* buf, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint16_t h0 = float_to_half_bits(static_cast<float>(buf[i + 0]));
+    const std::uint16_t h1 = float_to_half_bits(static_cast<float>(buf[i + 1]));
+    const std::uint16_t h2 = float_to_half_bits(static_cast<float>(buf[i + 2]));
+    const std::uint16_t h3 = float_to_half_bits(static_cast<float>(buf[i + 3]));
+    buf[i + 0] = half_bits_to_float(h0);
+    buf[i + 1] = half_bits_to_float(h1);
+    buf[i + 2] = half_bits_to_float(h2);
+    buf[i + 3] = half_bits_to_float(h3);
+  }
+  for (; i < n; ++i) buf[i] = through_half(buf[i]);
+}
+
+void round_through_half_f32_n(float* buf, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint16_t h0 = float_to_half_bits(buf[i + 0]);
+    const std::uint16_t h1 = float_to_half_bits(buf[i + 1]);
+    const std::uint16_t h2 = float_to_half_bits(buf[i + 2]);
+    const std::uint16_t h3 = float_to_half_bits(buf[i + 3]);
+    buf[i + 0] = half_bits_to_float(h0);
+    buf[i + 1] = half_bits_to_float(h1);
+    buf[i + 2] = half_bits_to_float(h2);
+    buf[i + 3] = half_bits_to_float(h3);
+  }
+  for (; i < n; ++i) buf[i] = half_bits_to_float(float_to_half_bits(buf[i]));
 }
 
 }  // namespace mpgeo

@@ -9,9 +9,145 @@
 namespace mpgeo {
 namespace {
 
-// Pack op(A)^T (k x m, column i holds the k inputs of C's row i) and op(B)
-// (k x n) into contiguous buffers rounded to the format's input precision,
-// so the inner product loop is stride-1 on both operands.
+// Single-dot accumulation policies for the register-blocked kernel. Blocked
+// evaluation only interleaves chains that never interact, so each output
+// element's operation sequence — and hence its bits — is unchanged relative
+// to a per-dot loop over the same policy.
+//
+// AccFP64: IEEE double throughout. AccFP32: products round to float before
+// accumulating. AccTC32: FP32 accumulation of exact products (tensor-core
+// TF32/FP16_32/BF16_32 accumulate mode; inputs already rounded by packing).
+// AccFP16: binary16 block FMA — per 4-wide block the products and their sum
+// with the running accumulator are exact, then the block result rounds to
+// binary16 (Blanchard, Higham, Lopez, Mary, Pranesh 2020, eq. (2.1)); a
+// trailing partial block rounds the same way.
+struct AccFP64 {
+  double acc = 0.0;
+  void step(double x, double y) { acc += x * y; }
+  double value() const { return acc; }
+};
+
+struct AccFP32 {
+  float acc = 0.0f;
+  void step(double x, double y) { acc += static_cast<float>(x * y); }
+  double value() const { return acc; }
+};
+
+struct AccTC32 {
+  float acc = 0.0f;
+  void step(double x, double y) { acc = static_cast<float>(acc + x * y); }
+  double value() const { return acc; }
+};
+
+struct AccFP16 {
+  double acc = 0.0;   // last block-rounded value
+  double s = 0.0;     // pending exact block sum (acc + up to 4 products)
+  unsigned pending = 0;
+  void step(double x, double y) {
+    if (pending == 0) s = acc;
+    s += x * y;
+    if (++pending == 4) {
+      acc = through_half(s);
+      pending = 0;
+    }
+  }
+  double value() const { return pending ? through_half(s) : acc; }
+};
+
+// The final scale-and-add happens at the format's output precision.
+inline double round_output(Precision prec, double out) {
+  switch (prec) {
+    case Precision::FP64: return out;
+    case Precision::FP16: return through_half(out);
+    default: return static_cast<double>(static_cast<float>(out));
+  }
+}
+
+// 2x4 register-blocked GEMM over packed operands. The serial dependence of
+// each dot's accumulator chain (~4-5 cycle add latency per step) is the
+// bottleneck of a per-dot loop at small tiles; running 8 independent chains
+// in the inner loop hides it without changing any chain's op sequence.
+//
+// T is the pack element type: double, or float for sub-FP64 precisions
+// (input-rounded values are exactly float-representable, so a float pack
+// widened at load is bit-identical at half the memory traffic).
+template <class Acc, class T>
+void gemm_register_blocked(Precision prec, std::size_t m, std::size_t n,
+                           std::size_t k, double alpha, const T* at,
+                           const T* bp, double beta, double* c,
+                           std::size_t ldc) {
+  constexpr std::size_t MR = 2, NR = 4;
+  std::size_t j = 0;
+  for (; j + NR <= n; j += NR) {
+    const T* y0 = bp + (j + 0) * k;
+    const T* y1 = bp + (j + 1) * k;
+    const T* y2 = bp + (j + 2) * k;
+    const T* y3 = bp + (j + 3) * k;
+    std::size_t i = 0;
+    for (; i + MR <= m; i += MR) {
+      const T* x0 = at + (i + 0) * k;
+      const T* x1 = at + (i + 1) * k;
+      Acc a00, a01, a02, a03, a10, a11, a12, a13;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double xv0 = static_cast<double>(x0[p]);
+        const double xv1 = static_cast<double>(x1[p]);
+        const double yv0 = static_cast<double>(y0[p]);
+        const double yv1 = static_cast<double>(y1[p]);
+        const double yv2 = static_cast<double>(y2[p]);
+        const double yv3 = static_cast<double>(y3[p]);
+        a00.step(xv0, yv0);
+        a01.step(xv0, yv1);
+        a02.step(xv0, yv2);
+        a03.step(xv0, yv3);
+        a10.step(xv1, yv0);
+        a11.step(xv1, yv1);
+        a12.step(xv1, yv2);
+        a13.step(xv1, yv3);
+      }
+      double* c0 = c + i + (j + 0) * ldc;
+      double* c1 = c + i + (j + 1) * ldc;
+      double* c2 = c + i + (j + 2) * ldc;
+      double* c3 = c + i + (j + 3) * ldc;
+      c0[0] = round_output(prec, alpha * a00.value() + beta * c0[0]);
+      c0[1] = round_output(prec, alpha * a10.value() + beta * c0[1]);
+      c1[0] = round_output(prec, alpha * a01.value() + beta * c1[0]);
+      c1[1] = round_output(prec, alpha * a11.value() + beta * c1[1]);
+      c2[0] = round_output(prec, alpha * a02.value() + beta * c2[0]);
+      c2[1] = round_output(prec, alpha * a12.value() + beta * c2[1]);
+      c3[0] = round_output(prec, alpha * a03.value() + beta * c3[0]);
+      c3[1] = round_output(prec, alpha * a13.value() + beta * c3[1]);
+    }
+    for (; i < m; ++i) {
+      const T* x = at + i * k;
+      Acc a0, a1, a2, a3;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double xv = static_cast<double>(x[p]);
+        a0.step(xv, static_cast<double>(y0[p]));
+        a1.step(xv, static_cast<double>(y1[p]));
+        a2.step(xv, static_cast<double>(y2[p]));
+        a3.step(xv, static_cast<double>(y3[p]));
+      }
+      double* ci = c + i;
+      ci[(j + 0) * ldc] = round_output(prec, alpha * a0.value() + beta * ci[(j + 0) * ldc]);
+      ci[(j + 1) * ldc] = round_output(prec, alpha * a1.value() + beta * ci[(j + 1) * ldc]);
+      ci[(j + 2) * ldc] = round_output(prec, alpha * a2.value() + beta * ci[(j + 2) * ldc]);
+      ci[(j + 3) * ldc] = round_output(prec, alpha * a3.value() + beta * ci[(j + 3) * ldc]);
+    }
+  }
+  for (; j < n; ++j) {
+    const T* y = bp + j * k;
+    for (std::size_t i = 0; i < m; ++i) {
+      Acc a;
+      const T* x = at + i * k;
+      for (std::size_t p = 0; p < k; ++p)
+        a.step(static_cast<double>(x[p]), static_cast<double>(y[p]));
+      c[i + j * ldc] = round_output(prec, alpha * a.value() + beta * c[i + j * ldc]);
+    }
+  }
+}
+
+}  // namespace
+
 void pack_a_transposed(char transa, std::size_t m, std::size_t k,
                        const double* a, std::size_t lda, Precision prec,
                        std::vector<double>& at) {
@@ -24,6 +160,7 @@ void pack_a_transposed(char transa, std::size_t m, std::size_t k,
       for (std::size_t p = 0; p < k; ++p) at[p + i * k] = a[p + i * lda];
   }
   round_inputs(at, prec);
+  count_operand_conversion();
 }
 
 void pack_b(char transb, std::size_t n, std::size_t k, const double* b,
@@ -37,51 +174,56 @@ void pack_b(char transb, std::size_t n, std::size_t k, const double* b,
       for (std::size_t p = 0; p < k; ++p) bp[p + j * k] = b[j + p * ldb];
   }
   round_inputs(bp, prec);
+  count_operand_conversion();
 }
 
-// Dot product with FP64 semantics.
-double dot_fp64(const double* x, const double* y, std::size_t k) {
-  double acc = 0.0;
-  for (std::size_t p = 0; p < k; ++p) acc += x[p] * y[p];
-  return acc;
-}
+namespace {
 
-// Dot product with FP32 accumulation of exact products (tensor-core
-// TF32/FP16_32/BF16_32 accumulate mode; inputs already rounded by packing).
-double dot_acc32(const double* x, const double* y, std::size_t k) {
-  float acc = 0.0f;
-  for (std::size_t p = 0; p < k; ++p) {
-    acc = static_cast<float>(acc + x[p] * y[p]);
+template <class T>
+void prepacked_dispatch(Precision prec, std::size_t m, std::size_t n,
+                        std::size_t k, double alpha, const T* at, const T* bp,
+                        double beta, double* c, std::size_t ldc) {
+  MPGEO_REQUIRE(ldc >= m, "mixed_gemm_prepacked: ldc too small");
+  if (m == 0 || n == 0) return;
+
+  switch (prec) {
+    case Precision::FP64:
+      return gemm_register_blocked<AccFP64>(prec, m, n, k, alpha, at, bp, beta,
+                                            c, ldc);
+    case Precision::FP32:
+      return gemm_register_blocked<AccFP32>(prec, m, n, k, alpha, at, bp, beta,
+                                            c, ldc);
+    case Precision::TF32:
+    case Precision::BF16_32:
+    case Precision::FP16_32:
+      return gemm_register_blocked<AccTC32>(prec, m, n, k, alpha, at, bp, beta,
+                                            c, ldc);
+    case Precision::FP16:
+      return gemm_register_blocked<AccFP16>(prec, m, n, k, alpha, at, bp, beta,
+                                            c, ldc);
   }
-  return acc;
-}
-
-// Pure FP32: products round to float before accumulating.
-double dot_fp32(const double* x, const double* y, std::size_t k) {
-  float acc = 0.0f;
-  for (std::size_t p = 0; p < k; ++p) {
-    const float prod = static_cast<float>(x[p] * y[p]);
-    acc += prod;
-  }
-  return acc;
-}
-
-// FP16 accumulate: 4-wide block FMA — the 4 products and their sum with the
-// running accumulator are exact, then the result rounds to binary16
-// (Blanchard, Higham, Lopez, Mary, Pranesh 2020, eq. (2.1)).
-double dot_fp16(const double* x, const double* y, std::size_t k) {
-  double acc = 0.0;
-  std::size_t p = 0;
-  while (p < k) {
-    const std::size_t stop = std::min(k, p + 4);
-    double s = acc;
-    for (; p < stop; ++p) s += x[p] * y[p];
-    acc = through_half(s);
-  }
-  return acc;
+  MPGEO_ASSERT(false);
 }
 
 }  // namespace
+
+void mixed_gemm_prepacked(Precision prec, std::size_t m, std::size_t n,
+                          std::size_t k, double alpha, const double* at,
+                          const double* bp, double beta, double* c,
+                          std::size_t ldc) {
+  prepacked_dispatch(prec, m, n, k, alpha, at, bp, beta, c, ldc);
+}
+
+void mixed_gemm_prepacked(Precision prec, std::size_t m, std::size_t n,
+                          std::size_t k, double alpha, const float* at,
+                          const float* bp, double beta, double* c,
+                          std::size_t ldc) {
+  // Float packs only carry sub-FP64 operands (FP64 operands are exact
+  // doubles and must not round through float).
+  MPGEO_REQUIRE(prec != Precision::FP64,
+                "mixed_gemm_prepacked: FP64 operands need double packs");
+  prepacked_dispatch(prec, m, n, k, alpha, at, bp, beta, c, ldc);
+}
 
 void mixed_gemm(Precision prec, char transa, char transb, std::size_t m,
                 std::size_t n, std::size_t k, double alpha, const double* a,
@@ -102,30 +244,8 @@ void mixed_gemm(Precision prec, char transa, char transb, std::size_t m,
   pack_a_transposed(transa, m, k, a, lda, prec, at);
   pack_b(transb, n, k, b, ldb, prec, bp);
 
-  double (*dot)(const double*, const double*, std::size_t) = nullptr;
-  switch (prec) {
-    case Precision::FP64: dot = dot_fp64; break;
-    case Precision::FP32: dot = dot_fp32; break;
-    case Precision::TF32:
-    case Precision::BF16_32:
-    case Precision::FP16_32: dot = dot_acc32; break;
-    case Precision::FP16: dot = dot_fp16; break;
-  }
-  MPGEO_ASSERT(dot != nullptr);
-
-  for (std::size_t j = 0; j < n; ++j) {
-    for (std::size_t i = 0; i < m; ++i) {
-      const double ab = k ? dot(&at[i * k], &bp[j * k], k) : 0.0;
-      double out = alpha * ab + beta * c[i + j * ldc];
-      // The final scale-and-add happens at the format's output precision.
-      switch (prec) {
-        case Precision::FP64: break;
-        case Precision::FP16: out = through_half(out); break;
-        default: out = static_cast<float>(out); break;
-      }
-      c[i + j * ldc] = out;
-    }
-  }
+  mixed_gemm_prepacked(prec, m, n, k, alpha, at.data(), bp.data(), beta, c,
+                       ldc);
 }
 
 double gemm_flops(std::size_t m, std::size_t n, std::size_t k) {

@@ -17,13 +17,51 @@
 // double (exact) and the emulation applies the format's rounding. This keeps
 // one code path per precision and makes the accuracy experiments (Fig 1,
 // Figs 5-7) reflect format semantics rather than storage plumbing.
+//
+// Operand preparation (transpose-pack + input rounding) is split out so the
+// operand cache can hoist it: `pack_a_transposed`/`pack_b` produce the packed
+// panels and `mixed_gemm_prepacked` consumes them. `mixed_gemm` composes the
+// two and is bit-identical to the prepacked path — each output element's
+// floating-point operation sequence is the same; the prepacked kernel only
+// interleaves *independent* accumulator chains (2x4 register blocking) for
+// instruction-level parallelism.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "precision/precision.hpp"
 
 namespace mpgeo {
+
+/// Pack op(A)^T into `at` (k x m, column i holds the k inputs of C's row i),
+/// rounded to the input format of `prec`, so the GEMM inner loop is stride-1.
+void pack_a_transposed(char transa, std::size_t m, std::size_t k,
+                       const double* a, std::size_t lda, Precision prec,
+                       std::vector<double>& at);
+
+/// Pack op(B) into `bp` (k x n, column-major), rounded to the input format of
+/// `prec`.
+void pack_b(char transb, std::size_t n, std::size_t k, const double* b,
+            std::size_t ldb, Precision prec, std::vector<double>& bp);
+
+/// GEMM over operands already packed by `pack_a_transposed` / `pack_b`
+/// (or an operand-cache entry holding the same bytes). `at` is k x m packed
+/// transposed, `bp` is k x n packed; C is m x n column-major with leading
+/// dimension ldc. Bit-identical to `mixed_gemm` on the unpacked operands.
+void mixed_gemm_prepacked(Precision prec, std::size_t m, std::size_t n,
+                          std::size_t k, double alpha, const double* at,
+                          const double* bp, double beta, double* c,
+                          std::size_t ldc);
+
+/// Same kernel over float-stored packs, for sub-FP64 precisions only (their
+/// input-rounded values are exactly float-representable, so the kernel sees
+/// identical doubles after widening each load — bit-identical results at
+/// half the operand memory traffic). Requires prec != FP64.
+void mixed_gemm_prepacked(Precision prec, std::size_t m, std::size_t n,
+                          std::size_t k, double alpha, const float* at,
+                          const float* bp, double beta, double* c,
+                          std::size_t ldc);
 
 /// Emulated-precision GEMM, column-major. op(X) selected by trans flags
 /// ('N' or 'T'). Dimensions: C is m x n, op(A) m x k, op(B) k x n.

@@ -125,9 +125,11 @@ class SeedRun {
 
       const Task& task = graph_.task(id);
       const double t0 = clock.seconds();
-      if (task.body && !has_error_.load(std::memory_order_acquire)) {
+      if (!has_error_.load(std::memory_order_acquire)) {
         try {
-          task.body();
+          if (task.body) task.body();
+          // Retire hook runs before successors are released below.
+          if (options_.retire_hook) options_.retire_hook(task);
         } catch (...) {
           std::unique_lock lk(mu_);
           if (!first_error_) {
@@ -372,9 +374,11 @@ class WorkStealingRun {
     WorkerState& ws = workers_[self];
     const Task& task = graph_.task(id);
     const double t0 = clock.seconds();
-    if (task.body && !has_error_.load(std::memory_order_acquire)) {
+    if (!has_error_.load(std::memory_order_acquire)) {
       try {
-        task.body();
+        if (task.body) task.body();
+        // Retire hook runs before the indegree decrements release successors.
+        if (options_.retire_hook) options_.retire_hook(task);
       } catch (...) {
         std::lock_guard lk(err_mu_);
         if (!first_error_) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "runtime/task_graph.hpp"
@@ -42,6 +43,12 @@ struct ExecutorOptions {
   /// false falls back to the seed single-queue scheduler, kept for A/B
   /// comparison in bench_scheduler and as a behavioural reference.
   bool use_work_stealing = true;
+  /// Called on the retiring worker after a task's body returns and before
+  /// its successors are released, in both schedulers. Dataflow users hook
+  /// this to observe writes as they commit — e.g. invalidating operand-cache
+  /// entries of data the task wrote, before any successor can read the datum
+  /// again. Must be thread-safe; exceptions propagate like body exceptions.
+  std::function<void(const Task&)> retire_hook;
 };
 
 /// Run every task body in dependency order, in parallel. Graph tasks with a

@@ -45,7 +45,7 @@ TaskId TaskGraph::add_task(TaskInfo info, std::vector<Access> accesses,
   const TaskId id = static_cast<TaskId>(tasks_.size());
   tasks_.push_back(Task{std::move(info), std::move(body), std::move(accesses),
                         {}, 0});
-  for (const Access& a : tasks_[id].accesses) {
+  for (Access& a : tasks_[id].accesses) {
     MPGEO_REQUIRE(a.data < data_.size(), "add_task: unknown data id");
     DataState& st = state_[a.data];
     switch (a.mode) {
@@ -54,6 +54,7 @@ TaskId TaskGraph::add_task(TaskInfo info, std::vector<Access> accesses,
           link(st.last_writer, id, a.data);
         }
         st.readers_since_write.push_back(id);
+        a.version = st.version;  // the version this task observes
         break;
       case AccessMode::Write:
       case AccessMode::ReadWrite:
@@ -65,6 +66,7 @@ TaskId TaskGraph::add_task(TaskInfo info, std::vector<Access> accesses,
         }
         st.readers_since_write.clear();
         st.last_writer = id;
+        a.version = ++st.version;  // the version this task produces
         break;
     }
   }

@@ -37,6 +37,14 @@ enum class AccessMode { Read, Write, ReadWrite };
 struct Access {
   DataId data = 0;
   AccessMode mode = AccessMode::Read;
+  /// Data version this access binds to, stamped by add_task from the
+  /// dependence analysis: for Read, the version the task observes (produced
+  /// by its last-writer dependence); for Write/ReadWrite, the new version
+  /// the task produces. Insertion order is a topological order, so the
+  /// stamped version is exactly what the task sees at runtime. Consumers use
+  /// it to key the operand cache; the executor's retire hook uses produced
+  /// versions to invalidate stale packs.
+  std::uint64_t version = 0;
 };
 
 /// Kernel taxonomy used by the cost model.
@@ -128,6 +136,10 @@ class TaskGraph {
   /// format if set, else the datum's at-rest size.
   std::size_t edge_bytes(const Edge& e) const;
 
+  /// Current version of a datum (number of writes inserted so far). A task
+  /// inserted next that reads `id` observes exactly this version.
+  std::uint64_t data_version(DataId id) const { return state_.at(id).version; }
+
   /// Sanity checks: no dangling ids, indegrees consistent with edges,
   /// graph is acyclic by construction (insertion order is a topological
   /// order — verified). Throws on violation. Intended for tests.
@@ -139,6 +151,7 @@ class TaskGraph {
   struct DataState {
     TaskId last_writer = kNoTask;
     std::vector<TaskId> readers_since_write;
+    std::uint64_t version = 0;  // bumped by each Write/ReadWrite insertion
   };
 
   std::vector<Task> tasks_;

@@ -35,6 +35,12 @@ TaskInfo named(const std::string& name) {
   return t;
 }
 
+ExecutorOptions threads_opts(std::size_t n) {
+  ExecutorOptions o;
+  o.num_threads = n;
+  return o;
+}
+
 TEST(TaskGraph, ReadAfterWriteCreatesEdge) {
   TaskGraph g;
   const DataId x = g.add_data(datum("x"));
@@ -140,7 +146,7 @@ TEST(Executor, RunsEveryBodyExactlyOnce) {
     g.add_task(named("t"), {{x, AccessMode::ReadWrite}},
                [&count] { count.fetch_add(1); });
   }
-  const ExecutionReport rep = execute(g, {4, false});
+  const ExecutionReport rep = execute(g, threads_opts(4));
   EXPECT_EQ(count.load(), 64);
   EXPECT_EQ(rep.tasks_run, 64u);
 }
@@ -156,7 +162,7 @@ TEST(Executor, RespectsDependencyOrder) {
       order.push_back(i);
     });
   }
-  execute(g, {8, false});
+  execute(g, threads_opts(8));
   for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
 }
 
@@ -182,7 +188,7 @@ TEST(Executor, ParallelTasksOverlap) {
     EXPECT_EQ(ran.load(), 4);  // all mids retired before the sink
     sink_ran = true;
   });
-  execute(g, {4, false});
+  execute(g, threads_opts(4));
   EXPECT_TRUE(sink_ran);
 }
 
@@ -193,7 +199,7 @@ TEST(Executor, PropagatesFirstException) {
   g.add_task(named("boom"), {{x, AccessMode::ReadWrite}},
              [] { throw Error("boom"); });
   g.add_task(named("after"), {{x, AccessMode::ReadWrite}}, [] {});
-  EXPECT_THROW(execute(g, {2, false}), Error);
+  EXPECT_THROW(execute(g, threads_opts(2)), Error);
 }
 
 TEST(Executor, NullBodiesRetireAndGateSuccessors) {
@@ -202,7 +208,7 @@ TEST(Executor, NullBodiesRetireAndGateSuccessors) {
   g.add_task(named("ghost"), {{x, AccessMode::Write}});  // no body
   bool ran = false;
   g.add_task(named("real"), {{x, AccessMode::Read}}, [&] { ran = true; });
-  execute(g, {2, false});
+  execute(g, threads_opts(2));
   EXPECT_TRUE(ran);
 }
 
@@ -608,7 +614,7 @@ TEST(Executor, SingleThreadMatchesMultiThreadResult) {
       g.add_task(named("t"), {{x, AccessMode::ReadWrite}},
                  [value, i] { *value = *value * 1.5 + i; });
     }
-    execute(g, {threads, false});
+    execute(g, threads_opts(threads));
     return *value;
   };
   EXPECT_EQ(run(1), run(8));
