@@ -60,11 +60,29 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const std::size_t tile = std::size_t(cli.get_int("tile", 2048));
   const std::size_t nt = std::size_t(cli.get_int("nt", 56));
+  const ObsFlags obs = obs_flags(cli);
   cli.check_unused();
 
   std::cout << "== Data motion under the automated conversion strategy ==\n\n";
   motion_table("one V100, out-of-core", single_gpu(GpuModel::V100), nt, tile);
   motion_table("4 Summit nodes (24 GPUs)", summit_cluster(4), nt, tile);
+
+  if (obs.any()) {
+    // Instrumented rerun of the representative configuration (mixed-precision
+    // 2D-sqexp under Auto on the out-of-core V100 — the headline row).
+    const ClusterConfig cluster = single_gpu(GpuModel::V100);
+    const PrecisionMap pmap =
+        app_precision_map(paper_applications()[0], nt, tile, 128);
+    CommMapOptions copts;
+    copts.strategy = ConversionStrategy::Auto;
+    const CommMap cmap = build_comm_map(pmap, copts);
+    SimGraphOptions gopts;
+    gopts.tile = tile;
+    const TaskGraph g = build_cholesky_sim_graph(pmap, cmap, cluster, gopts);
+    SimOptions sopts;
+    sopts.tile = tile;
+    simulate_observed(g, cluster, sopts, obs, "MP 2D-sqexp / Auto / V100");
+  }
   std::cout
       << "(Reading: STC cuts the logical payload roughly in half in the\n"
          "16-bit configurations — FP16 wire vs FP32 storage — and the\n"

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const std::size_t tile = std::size_t(cli.get_int("tile", 2048));
   const std::size_t nt = std::size_t(cli.get_int("nt", 48));
+  const ObsFlags obs = obs_flags(cli);
   cli.check_unused();
 
   const ClusterConfig cluster = haxane_node();
@@ -78,6 +79,22 @@ int main(int argc, char** argv) {
                Table::num(100.0 * mean, 1), Table::num(100.0 * mn, 1)});
   }
   t.print(std::cout);
+
+  if (obs.any()) {
+    // Instrumented rerun of the configuration whose occupancy dips are the
+    // figure's point: FP64/FP16 streaming from host memory.
+    const PrecisionMap pmap = uniform_precision_map(nt, Precision::FP16);
+    CommMapOptions copts;
+    const CommMap cmap = build_comm_map(pmap, copts);
+    SimGraphOptions gopts;
+    gopts.tile = tile;
+    gopts.device_side_generation = false;
+    const TaskGraph graph = build_cholesky_sim_graph(pmap, cmap, cluster, gopts);
+    SimOptions sopts;
+    sopts.tile = tile;
+    simulate_observed(graph, cluster, sopts, obs, "FP64/FP16 / H100 host-resident");
+  }
+
   std::cout << "\n(Expected: FP64/FP32 rows pinned at ~100%; 16-bit rows "
                "high but dipping where panel transfers surface — the tail "
                "decile drops as the trailing matrix shrinks.)\n";

@@ -178,13 +178,53 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 
 }  // namespace
 
+namespace {
+
+/// One instrumented real-executor run over the diamond DAG: per-task trace,
+/// scheduler counters, Chrome trace + metrics dumps per the obs flags. This
+/// is the real-backend counterpart of the simulator exports in the other
+/// benches — same schema, so the two traces diff side by side in Perfetto.
+void run_observed(const mpgeo::bench::ObsFlags& obs) {
+  using namespace mpgeo;
+  TaskGraph g = make_diamond_dag(256, 8, tiny_body());
+  MetricsRegistry registry;
+  ExecutorOptions opts;
+  opts.use_work_stealing = true;
+  opts.capture_trace = true;
+  opts.metrics = &registry;
+  const ExecutionReport rep = execute(g, opts);
+  const CriticalPathReport cp = critical_path(g, rep);
+  std::fprintf(stderr,
+               "[obs] diamond 256x8: wall %.6f s, critical path %.6f s over "
+               "%zu tasks, %llu steals\n",
+               rep.wall_seconds, cp.length_seconds, cp.path.size(),
+               (unsigned long long)registry.counter_value("executor.steals"));
+  if (!obs.trace_path.empty()) {
+    TraceExportOptions topts;
+    topts.metrics = &registry;
+    write_chrome_trace_file(rep, g, obs.trace_path, topts);
+    std::fprintf(stderr, "[obs] trace written to %s\n", obs.trace_path.c_str());
+  }
+  if (!obs.metrics_path.empty()) {
+    registry.write_json_file(obs.metrics_path);
+    std::fprintf(stderr, "[obs] metrics written to %s\n",
+                 obs.metrics_path.c_str());
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const std::string json_path = mpgeo::bench::json_path_from_args(argc, argv);
+  mpgeo::bench::ObsFlags obs;
+  obs.trace_path = mpgeo::bench::flag_from_args(argc, argv, "--trace");
+  obs.metrics_path = mpgeo::bench::flag_from_args(argc, argv, "--metrics-json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   mpgeo::bench::JsonWriter writer;
   CapturingReporter reporter(json_path.empty() ? nullptr : &writer);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   if (!json_path.empty() && !writer.write_file(json_path)) return 1;
+  if (obs.any()) run_observed(obs);
   return 0;
 }

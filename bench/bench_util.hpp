@@ -9,12 +9,16 @@
 #include <utility>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "core/comm_map.hpp"
 #include "core/precision_map.hpp"
 #include "core/sampled_norms.hpp"
 #include "core/sim_graph.hpp"
 #include "gpusim/sim_executor.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/covariance.hpp"
 #include "stats/locations.hpp"
 
@@ -89,6 +93,56 @@ inline SimReport simulate_cholesky(const PrecisionMap& pmap,
   return simulate(graph, cluster, sopts);
 }
 
+// ---------------------------------------------------------------------------
+// Observability flags: traced benches accept `--trace <path>` (Chrome/
+// Perfetto JSON of one representative run) and `--metrics-json <path>` (a
+// MetricsRegistry dump). The table output is unchanged; the flags add one
+// instrumented rerun of a representative configuration.
+
+struct ObsFlags {
+  std::string trace_path;
+  std::string metrics_path;
+  bool any() const { return !trace_path.empty() || !metrics_path.empty(); }
+};
+
+inline ObsFlags obs_flags(const Cli& cli) {
+  return ObsFlags{cli.get_string("trace", ""),
+                  cli.get_string("metrics-json", "")};
+}
+
+/// Simulate `graph` on `cluster` with timeline + metrics capture and export
+/// per `obs`; prints a one-line critical-path summary so the flags double as
+/// a smoke test of the analyzer. Returns the instrumented report.
+inline SimReport simulate_observed(const TaskGraph& graph,
+                                   const ClusterConfig& cluster,
+                                   SimOptions sopts, const ObsFlags& obs,
+                                   const std::string& label) {
+  MetricsRegistry registry;
+  sopts.capture_timeline = true;
+  sopts.metrics = &registry;
+  const SimReport report = simulate(graph, cluster, sopts);
+  const CriticalPathReport cp = critical_path(graph, report);
+  const std::string head =
+      cp.contributors.empty() ? "-" : to_string(cp.contributors[0].kind);
+  std::fprintf(stderr,
+               "[obs] %s: makespan %.6f s, critical path %.6f s over %zu "
+               "tasks (head: %s)\n",
+               label.c_str(), report.makespan_seconds, cp.length_seconds,
+               cp.path.size(), head.c_str());
+  if (!obs.trace_path.empty()) {
+    TraceExportOptions topts;
+    topts.metrics = &registry;
+    write_sim_chrome_trace_file(report, graph, obs.trace_path, topts);
+    std::fprintf(stderr, "[obs] trace written to %s\n", obs.trace_path.c_str());
+  }
+  if (!obs.metrics_path.empty()) {
+    registry.write_json_file(obs.metrics_path);
+    std::fprintf(stderr, "[obs] metrics written to %s\n",
+                 obs.metrics_path.c_str());
+  }
+  return report;
+}
+
 inline std::string gib(std::size_t bytes) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.2f", double(bytes) / double(1ull << 30));
@@ -161,23 +215,31 @@ class JsonWriter {
   std::vector<JsonRecord> records_;
 };
 
-/// Strip `--json <path>` (or `--json=<path>`) from argv before handing the
-/// remainder to the benchmark library; returns the path, or "" if absent.
-inline std::string json_path_from_args(int& argc, char** argv) {
-  std::string path;
+/// Strip `--<name> <value>` (or `--<name>=<value>`) from argv — for flags a
+/// downstream argument parser (e.g. google-benchmark) would reject — and
+/// return the value, or "" if absent. `flag` includes the leading dashes.
+inline std::string flag_from_args(int& argc, char** argv,
+                                  const std::string& flag) {
+  std::string value;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" && i + 1 < argc) {
-      path = argv[++i];
-    } else if (arg.rfind("--json=", 0) == 0) {
-      path = arg.substr(7);
+    if (arg == flag && i + 1 < argc) {
+      value = argv[++i];
+    } else if (arg.rfind(flag + "=", 0) == 0) {
+      value = arg.substr(flag.size() + 1);
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
-  return path;
+  return value;
+}
+
+/// Strip `--json <path>` (or `--json=<path>`) from argv before handing the
+/// remainder to the benchmark library; returns the path, or "" if absent.
+inline std::string json_path_from_args(int& argc, char** argv) {
+  return flag_from_args(argc, argv, "--json");
 }
 
 }  // namespace mpgeo::bench

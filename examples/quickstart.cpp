@@ -6,6 +6,11 @@
 // 3. Compare the recovered parameters and the factorization's precision mix.
 //
 //   ./quickstart [--n 400] [--u-req 1e-9] [--beta 0.1]
+//                [--trace trace.json] [--metrics-json metrics.json]
+//
+// The last two flags rerun one factorization at the fitted parameters with
+// full observability: a Chrome/Perfetto trace of the task DAG (load the file
+// at ui.perfetto.dev), a metrics-registry dump, and a critical-path summary.
 #include <iostream>
 #include <vector>
 
@@ -14,6 +19,11 @@
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "core/mle.hpp"
+#include "core/mp_cholesky.hpp"
+#include "core/tiled_covariance.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/covariance.hpp"
 #include "stats/field.hpp"
 #include "stats/locations.hpp"
@@ -25,6 +35,8 @@ int main(int argc, char** argv) {
   const std::size_t n = std::size_t(cli.get_int("n", 400));
   const double u_req = cli.get_double("u-req", 1e-9);
   const double beta = cli.get_double("beta", 0.05);
+  const std::string trace_path = cli.get_string("trace", "");
+  const std::string metrics_path = cli.get_string("metrics-json", "");
   cli.check_unused();
 
   // 1. A Gaussian random field with squared-exponential covariance.
@@ -56,5 +68,40 @@ int main(int argc, char** argv) {
             << "\nrequired accuracy u_req = " << u_req
             << " (drives how many tiles drop below FP64 — see the "
                "precision_explorer example)\n";
+
+  // 4. Optional observability: rerun one factorization at the optimum with
+  // the per-task trace and the metrics registry switched on.
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    TileMatrix tiles = build_tiled_covariance(cov, locs, fit.theta, opts.tile);
+    MetricsRegistry registry;
+    MpCholeskyOptions copts;
+    copts.u_req = u_req;
+    copts.capture_trace = true;
+    copts.metrics = &registry;
+    const MpCholeskyResult traced = mp_cholesky(tiles, copts);
+    const CriticalPathReport cp = critical_path(*traced.graph, traced.exec);
+    std::cout << "\ntraced factorization: " << traced.exec.tasks_run
+              << " tasks in " << Table::num(traced.exec.wall_seconds, 3)
+              << " s, critical path " << Table::num(cp.length_seconds, 3)
+              << " s";
+    if (!cp.contributors.empty()) {
+      std::cout << " (top contributor: " << to_string(cp.contributors[0].kind)
+                << " " << to_string(cp.contributors[0].prec) << ", "
+                << Table::num(cp.contributors[0].seconds, 3) << " s over "
+                << cp.contributors[0].tasks << " tasks)";
+    }
+    std::cout << "\n";
+    if (!trace_path.empty()) {
+      TraceExportOptions topts;
+      topts.metrics = &registry;
+      write_chrome_trace_file(traced.exec, *traced.graph, trace_path, topts);
+      std::cout << "trace written to " << trace_path
+                << " — open at ui.perfetto.dev\n";
+    }
+    if (!metrics_path.empty()) {
+      registry.write_json_file(metrics_path);
+      std::cout << "metrics written to " << metrics_path << "\n";
+    }
+  }
   return 0;
 }

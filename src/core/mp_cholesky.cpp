@@ -8,6 +8,7 @@
 #include "linalg/operand_cache.hpp"
 #include "linalg/reference.hpp"
 #include "linalg/tile_kernels.hpp"
+#include "obs/metrics.hpp"
 #include "precision/convert.hpp"
 #include "runtime/task_graph.hpp"
 
@@ -35,8 +36,10 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
     }
   }
 
-  // Register one logical datum per tile.
-  TaskGraph graph;
+  // Register one logical datum per tile. The graph lives in a shared_ptr so
+  // a traced run can hand it to the caller for post-mortem analysis.
+  auto graph_ptr = std::make_shared<TaskGraph>();
+  TaskGraph& graph = *graph_ptr;
   std::vector<DataId> data(nt * (nt + 1) / 2);
   std::vector<const AnyTile*> tile_of_datum(data.size());
   auto did = [&](std::size_t m, std::size_t k) {
@@ -64,6 +67,14 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
                                     : OperandCache::kDefaultByteBudget);
   }
   OperandCache* cache_ptr = cache.get();
+
+  // Counts panels the numeric path actually rounded through the wire format
+  // (the real-run analogue of the simulator's STC accounting). The handle is
+  // captured by value in the TRSM bodies; a null registry makes it a no-op.
+  MetricsRegistry::Counter stc_roundings;
+  if (options.metrics) {
+    stc_roundings = options.metrics->counter("cholesky.stc_wire_roundings");
+  }
 
   // Algorithm 1, right-looking tile Cholesky.
   for (std::size_t k = 0; k < nt; ++k) {
@@ -95,9 +106,10 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
       graph.add_task(
           ti,
           {{did(k, k), AccessMode::Read}, {did(m, k), AccessMode::ReadWrite}},
-          [ckk, cmk, trsm_prec, stc, wire, vkk, cache_ptr] {
+          [ckk, cmk, trsm_prec, stc, wire, vkk, cache_ptr, stc_roundings] {
             trsm_tile(trsm_prec, TileOperand{ckk, vkk}, *cmk, cache_ptr);
             if (stc) {
+              stc_roundings.add();
               // STC: the broadcast payload is the wire-rounded panel; all
               // consumers (including the FP64 SYRK) see these values. The
               // rounding happens in the tile's own storage format — no
@@ -159,6 +171,8 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
   exec_opts.num_threads = options.num_threads;
   exec_opts.use_work_stealing = options.use_work_stealing;
   exec_opts.use_priorities = options.use_priorities;
+  exec_opts.capture_trace = options.capture_trace;
+  exec_opts.metrics = options.metrics;
   if (cache_ptr) {
     // Drop packs of any datum a retiring task wrote, before successors can
     // run. In Cholesky proper every tile is write-finalized before its first
@@ -178,7 +192,11 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
   } catch (const NotPositiveDefinite& e) {
     result.info = e.info;
   }
-  if (cache_ptr) result.operand_cache = cache_ptr->stats();
+  if (cache_ptr) {
+    result.operand_cache = cache_ptr->stats();
+    if (options.metrics) cache_ptr->publish(*options.metrics);
+  }
+  if (options.capture_trace) result.graph = graph_ptr;
   return result;
 }
 

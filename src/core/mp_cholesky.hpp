@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/comm_map.hpp"
@@ -56,6 +57,15 @@ struct MpCholeskyOptions {
   bool use_operand_cache = true;
   /// Operand-cache byte budget; 0 = OperandCache::kDefaultByteBudget.
   std::size_t operand_cache_bytes = 0;
+  /// Capture the per-task trace (ExecutorOptions::capture_trace) and keep
+  /// the executed TaskGraph in the result, so the run can be exported with
+  /// write_chrome_trace / analyzed with critical_path.
+  bool capture_trace = false;
+  /// Report counters into this registry (null = off): the executor's
+  /// scheduler counters, operand_cache.*, and cholesky.stc_wire_roundings
+  /// (panels actually rounded through their wire format — the count of STC
+  /// conversions the real numeric path performed).
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct MpCholeskyResult {
@@ -68,6 +78,11 @@ struct MpCholeskyResult {
   std::size_t stored_bytes = 0;  ///< matrix footprint after storage mapping
   /// Operand-cache counters for this factorization (all-zero when disabled).
   OperandCache::Stats operand_cache;
+  /// The executed TaskGraph, kept when MpCholeskyOptions::capture_trace so
+  /// exec.trace can be rendered/analyzed against it. For inspection only:
+  /// the task bodies hold pointers into state that died with the
+  /// factorization — never re-execute this graph.
+  std::shared_ptr<const TaskGraph> graph;
 };
 
 /// Factor `a` (generated in FP64) in place: on return the lower triangle

@@ -56,6 +56,14 @@ TaskGraph build_cholesky_sim_graph(const PrecisionMap& pmap, const CommMap& cmap
     return cmap.uses_stc(m, k, pmap) ? wire_storage(cmap.comm(m, k))
                                      : pmap.storage(m, k);
   };
+  // Fold one logical conversion into a task: HBM streaming bytes plus one
+  // launch-overhead unit (TaskInfo::extra_conv_count) so the cost model
+  // charges folded conversions the same fixed cost as explicit CONVERTs.
+  auto fold_conv = [&](TaskInfo& ti, double bytes) {
+    if (bytes <= 0.0) return;
+    ti.extra_conv_bytes += bytes;
+    ti.extra_conv_count += 1;
+  };
   // Receiver-side conversion traffic when `need` differs from what arrives.
   auto conv_bytes = [&](Storage from, Storage need) {
     if (from == need) return 0.0;
@@ -96,9 +104,8 @@ TaskGraph build_cholesky_sim_graph(const PrecisionMap& pmap, const CommMap& cmap
         // the producer plus a narrower wire — not as a separate task, which
         // would (wrongly) also gate same-device consumers.
         ti.wire_bytes = wire_bytes(k, k);
-        ti.extra_conv_bytes +=
-            elems * double(bytes_per_element(pmap.storage(k, k)) +
-                           cmap.wire_bytes_per_element(k, k));
+        fold_conv(ti, elems * double(bytes_per_element(pmap.storage(k, k)) +
+                                     cmap.wire_bytes_per_element(k, k)));
       } else {
         ti.wire_bytes = storage_bytes(k, k);
       }
@@ -112,12 +119,11 @@ TaskGraph build_cholesky_sim_graph(const PrecisionMap& pmap, const CommMap& cmap
       ti.tk = int(k);
       ti.flops = b3;
       ti.device = tile_owner(m, k, devices);
-      ti.extra_conv_bytes = conv_bytes(arriving(k, k), wire_storage(ti.prec));
+      fold_conv(ti, conv_bytes(arriving(k, k), wire_storage(ti.prec)));
       if (cmap.uses_stc(m, k, pmap)) {
         ti.wire_bytes = wire_bytes(m, k);
-        ti.extra_conv_bytes +=
-            elems * double(bytes_per_element(pmap.storage(m, k)) +
-                           cmap.wire_bytes_per_element(m, k));
+        fold_conv(ti, elems * double(bytes_per_element(pmap.storage(m, k)) +
+                                     cmap.wire_bytes_per_element(m, k)));
       } else {
         ti.wire_bytes = storage_bytes(m, k);
       }
@@ -133,7 +139,7 @@ TaskGraph build_cholesky_sim_graph(const PrecisionMap& pmap, const CommMap& cmap
       ti.flops = b3;
       ti.device = tile_owner(m, m, devices);
       ti.wire_bytes = storage_bytes(m, m);
-      ti.extra_conv_bytes = conv_bytes(arriving(m, k), Storage::FP64);
+      fold_conv(ti, conv_bytes(arriving(m, k), Storage::FP64));
       graph.add_task(
           ti, {{did(m, k), AccessMode::Read}, {did(m, m), AccessMode::ReadWrite}});
     }
@@ -151,12 +157,14 @@ TaskGraph build_cholesky_sim_graph(const PrecisionMap& pmap, const CommMap& cmap
         const auto need = Storage(input_bpe(ti.prec) == 8   ? Storage::FP64
                                   : input_bpe(ti.prec) == 4 ? Storage::FP32
                                                             : Storage::FP16);
-        ti.extra_conv_bytes = conv_bytes(arriving(m, k), need) +
-                              conv_bytes(arriving(n, k), need);
+        fold_conv(ti, conv_bytes(arriving(m, k), need));
+        fold_conv(ti, conv_bytes(arriving(n, k), need));
         if (ti.prec == Precision::FP16) {
           // Pure-FP16 GEMM also round-trips its FP32-stored C operand
-          // through binary16 (down before, up after the tensor-core call).
-          ti.extra_conv_bytes += 2.0 * elems * (4.0 + 2.0);
+          // through binary16 (down before, up after the tensor-core call):
+          // two conversions, each with its own launch.
+          fold_conv(ti, elems * (4.0 + 2.0));
+          fold_conv(ti, elems * (4.0 + 2.0));
         }
         graph.add_task(ti, {{did(m, k), AccessMode::Read},
                             {did(n, k), AccessMode::Read},

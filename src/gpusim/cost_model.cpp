@@ -66,9 +66,7 @@ double CostModel::conversion_seconds(std::size_t elems, Storage from,
   // Elementwise cast: stream elems in at `from` width, out at `to` width.
   const double bytes = double(elems) * double(bytes_per_element(from)) +
                        double(elems) * double(bytes_per_element(to));
-  // 5 us flat kernel-launch overhead: conversions are many and tiny, so the
-  // launch cost is a visible part of what STC amortizes.
-  return bytes / (spec_.hbm_bandwidth_gbs * 1e9) + 5e-6;
+  return bytes / (spec_.hbm_bandwidth_gbs * 1e9) + kConversionLaunchSeconds;
 }
 
 double CostModel::generate_seconds(std::size_t m, std::size_t n) const {
@@ -92,9 +90,11 @@ double CostModel::peer_transfer_seconds(std::size_t bytes) const {
 }
 
 double CostModel::task_seconds(const TaskInfo& info, std::size_t tile) const {
-  // Receiver-side conversions (TTC) stream their operands through HBM
-  // before the kernel proper can run.
-  const double conv = info.extra_conv_bytes / (spec_.hbm_bandwidth_gbs * 1e9);
+  // Folded conversions (TTC input widenings, STC producer down-casts)
+  // stream their operands through HBM before the kernel proper can run, and
+  // each one pays the same launch overhead an explicit CONVERT task does.
+  const double conv = info.extra_conv_bytes / (spec_.hbm_bandwidth_gbs * 1e9) +
+                      info.extra_conv_count * kConversionLaunchSeconds;
   return conv + base_task_seconds(info, tile);
 }
 

@@ -17,6 +17,13 @@ namespace mpgeo {
 
 class CostModel {
  public:
+  /// Flat kernel-launch overhead of one datatype conversion. Charged by
+  /// conversion_seconds (explicit CONVERT tasks) and by task_seconds for
+  /// every folded conversion in TaskInfo::extra_conv_count — conversions are
+  /// many and tiny, so this fixed cost is a visible part of what STC
+  /// amortizes, and charging it on only one side biased every STC/TTC A/B.
+  static constexpr double kConversionLaunchSeconds = 5e-6;
+
   explicit CostModel(GpuSpec spec) : spec_(std::move(spec)) {}
 
   const GpuSpec& spec() const { return spec_; }

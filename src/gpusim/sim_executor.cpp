@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace mpgeo {
 namespace {
@@ -243,12 +244,14 @@ class Simulation {
     // Source preference: same-node peer GPU, then host, then remote GPU.
     const int my_node = cluster_.node_of(dev);
     double seconds = 0.0;
+    SimLinkClass link = SimLinkClass::HostToDevice;
     const int wdev = writer_device_[d];
     const bool on_device =
         wdev != kHost && wdev != dev && memory_[wdev].contains(d);
     if (on_device && cluster_.node_of(wdev) == my_node) {
       seconds = cost_.peer_transfer_seconds(bytes);
       peer_bytes_ += bytes;
+      link = SimLinkClass::Peer;
     } else if (host_valid_[d]) {
       seconds = cost_.host_transfer_seconds(bytes);
       h2d_bytes_ += bytes;
@@ -265,6 +268,7 @@ class Simulation {
       nic_free_[my_node] = end;
       bytes_received_[dev] += bytes;
       arriving_[key] = end;
+      record_transfer(d, dev, bytes, start, end, SimLinkClass::Network);
       return end;
     } else {
       MPGEO_ASSERT(false);  // datum exists nowhere
@@ -275,7 +279,14 @@ class Simulation {
     link_in_free_[dev] = end;
     bytes_received_[dev] += bytes;
     arriving_[key] = end;
+    record_transfer(d, dev, bytes, start, end, link);
     return end;
+  }
+
+  void record_transfer(DataId d, int dev, std::size_t bytes, double start,
+                       double end, SimLinkClass link) {
+    if (!options_.capture_timeline) return;
+    transfers_.push_back(SimTransferRecord{d, dev, bytes, start, end, link});
   }
 
   void on_staged(TaskId t, double now) {
@@ -307,6 +318,9 @@ class Simulation {
     const double dur = cost_.task_seconds(task.info, options_.tile);
     const double end = now + dur;
     if (dur > 0) busy_[dev].push_back(BusyInterval{now, end, task.info.prec});
+    if (options_.capture_timeline) {
+      timeline_.push_back(SimTaskRecord{t, dev, now, end});
+    }
     kernels_run_[dev]++;
     total_flops_ += task.info.flops;
     events_.push(Event{end, EventKind::Done, t});
@@ -320,8 +334,10 @@ class Simulation {
       // host copy is declared valid immediately; a consumer racing the
       // writeback would at worst start a few microseconds early, which is
       // noise at tile granularity.
-      link_out_free_[dev] = std::max(link_out_free_[dev], now) +
-                            cost_.host_transfer_seconds(vbytes);
+      const double wb_start = std::max(link_out_free_[dev], now);
+      link_out_free_[dev] = wb_start + cost_.host_transfer_seconds(vbytes);
+      record_transfer(victim, dev, vbytes, wb_start, link_out_free_[dev],
+                      SimLinkClass::DeviceToHost);
       d2h_bytes_ += vbytes;
       host_valid_[victim] = true;
       if (writer_device_[victim] == dev) writer_device_[victim] = kHost;
@@ -398,7 +414,41 @@ class Simulation {
     if (options_.occupancy_sample_seconds > 0 && r.makespan_seconds > 0) {
       sample_occupancy(r);
     }
+    if (options_.capture_timeline) {
+      r.timeline = std::move(timeline_);
+      r.transfers = std::move(transfers_);
+    }
+    if (options_.metrics) publish_metrics(r);
     return r;
+  }
+
+  /// Report the run's counters into the registry. Per-device bytes_received
+  /// reconciles exactly with DeviceSimStats; the conversion counters split
+  /// the paper's STC/TTC taxonomy: `explicit` counts CONVERT kernels (the
+  /// standalone-task formulation), `folded` counts the logical conversions
+  /// folded into producers (STC wire down-casts) and consumers (TTC input
+  /// widenings) via TaskInfo::extra_conv_count.
+  void publish_metrics(const SimReport& r) {
+    MetricsRegistry& reg = *options_.metrics;
+    reg.counter("sim.bytes.host_to_device").add(r.host_to_device_bytes);
+    reg.counter("sim.bytes.device_to_host").add(r.device_to_host_bytes);
+    reg.counter("sim.bytes.peer").add(r.peer_bytes);
+    reg.counter("sim.bytes.network").add(r.network_bytes);
+    reg.counter("sim.tasks_retired").add(retired_);
+    std::uint64_t explicit_convs = 0, folded_convs = 0;
+    for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
+      const TaskInfo& info = graph_.task(t).info;
+      if (info.kind == KernelKind::CONVERT) ++explicit_convs;
+      folded_convs += std::uint64_t(info.extra_conv_count);
+    }
+    reg.counter("sim.conversions.explicit").add(explicit_convs);
+    reg.counter("sim.conversions.folded").add(folded_convs);
+    for (int dev = 0; dev < num_devices_; ++dev) {
+      const std::string prefix = "sim.device." + std::to_string(dev);
+      reg.counter(prefix + ".bytes_received").add(bytes_received_[dev]);
+      reg.counter(prefix + ".kernels_run").add(kernels_run_[dev]);
+      reg.gauge(prefix + ".busy_seconds").set(r.devices[dev].busy_seconds);
+    }
   }
 
   void sample_occupancy(SimReport& r) {
@@ -415,10 +465,22 @@ class Simulation {
         for (std::size_t w = w0; w <= w1; ++w) {
           const double lo = std::max(b.start, double(w) * dt);
           const double hi = std::min(b.end, double(w + 1) * dt);
-          if (hi > lo) r.occupancy[dev][w] += (hi - lo) / dt;
+          // Normalize by the window's actual length: the final window covers
+          // only makespan - start seconds, and dividing it by the full dt
+          // understated end-of-run occupancy (a device busy to the last
+          // instant read as nearly idle when the tail window was short).
+          const double wlen =
+              std::min(dt, r.makespan_seconds - double(w) * dt);
+          if (hi > lo) r.occupancy[dev][w] += (hi - lo) / wlen;
         }
       }
-      for (auto& v : r.occupancy[dev]) v = std::min(v, 1.0);
+      for (auto& v : r.occupancy[dev]) {
+        // Busy intervals of one device never overlap, so a window can only
+        // exceed 1 by floating-point noise; a real excess is a model bug
+        // that the old min(v, 1.0) clamp used to mask.
+        MPGEO_ASSERT(v <= 1.0 + 1e-9);
+        v = std::min(v, 1.0);
+      }
     }
   }
 
@@ -448,6 +510,8 @@ class Simulation {
                                   MinPriority>>
       ready_queues_;
   std::vector<std::vector<BusyInterval>> busy_;
+  std::vector<SimTaskRecord> timeline_;
+  std::vector<SimTransferRecord> transfers_;
   std::vector<std::size_t> bytes_received_;
   std::vector<std::size_t> kernels_run_;
   std::uint32_t fifo_seq_ = 0;
@@ -460,6 +524,16 @@ class Simulation {
 };
 
 }  // namespace
+
+std::string to_string(SimLinkClass c) {
+  switch (c) {
+    case SimLinkClass::HostToDevice: return "host_to_device";
+    case SimLinkClass::DeviceToHost: return "device_to_host";
+    case SimLinkClass::Peer: return "peer";
+    case SimLinkClass::Network: return "network";
+  }
+  return "unknown";
+}
 
 SimReport simulate(const TaskGraph& graph, const ClusterConfig& cluster,
                    const SimOptions& options) {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "gpusim/cluster.hpp"
@@ -28,6 +29,8 @@
 #include "runtime/task_graph.hpp"
 
 namespace mpgeo {
+
+class MetricsRegistry;
 
 struct SimOptions {
   /// Tile dimension used by the cost model for kernel geometry.
@@ -38,6 +41,37 @@ struct SimOptions {
   /// earlier iterations first). Disable for the ablation: FIFO-by-readiness
   /// reproduces the priority inversion that makes STC *lose* to TTC.
   bool priority_scheduling = true;
+  /// Record the per-task / per-transfer timeline into SimReport (feeds the
+  /// Perfetto trace export and the critical-path analyzer).
+  bool capture_timeline = false;
+  /// Report byte / kernel / conversion counters into this registry (null =
+  /// off). Per-device `sim.device.<d>.bytes_received` reconciles exactly
+  /// with DeviceSimStats::bytes_received.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Link class of a simulated transfer (the paper's data-motion taxonomy).
+enum class SimLinkClass { HostToDevice, DeviceToHost, Peer, Network };
+
+std::string to_string(SimLinkClass c);
+
+/// One simulated kernel execution (compute channel of `device`).
+struct SimTaskRecord {
+  TaskId task = 0;
+  int device = 0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+/// One simulated transfer (copy channel of `device`; for DeviceToHost the
+/// device is the evicting GPU).
+struct SimTransferRecord {
+  DataId data = 0;
+  int device = 0;
+  std::size_t bytes = 0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  SimLinkClass link = SimLinkClass::HostToDevice;
 };
 
 struct DeviceSimStats {
@@ -71,9 +105,18 @@ struct SimReport {
   }
 
   std::vector<DeviceSimStats> devices;
-  /// occupancy[d][w]: busy fraction of device d in sampling window w.
+  /// occupancy[d][w]: busy fraction of device d in sampling window w. The
+  /// final window may cover less than a full sample period; it is normalized
+  /// by its actual length (min(dt, makespan - start)), so a device busy to
+  /// the end of the run reads 1.0 there too.
   std::vector<std::vector<double>> occupancy;
   double occupancy_sample_seconds = 0.0;
+
+  /// Per-task / per-transfer timeline (populated when
+  /// SimOptions::capture_timeline; consumed by write_sim_chrome_trace and
+  /// critical_path).
+  std::vector<SimTaskRecord> timeline;
+  std::vector<SimTransferRecord> transfers;
 };
 
 /// Simulate `graph` on `cluster`. Every task must carry a device in [0,

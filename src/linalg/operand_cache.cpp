@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "precision/convert.hpp"
 
 namespace mpgeo {
@@ -133,6 +134,16 @@ void OperandCache::clear() {
 OperandCache::Stats OperandCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void OperandCache::publish(MetricsRegistry& reg) const {
+  const Stats s = stats();
+  reg.counter("operand_cache.hits").add(s.hits);
+  reg.counter("operand_cache.misses").add(s.misses);
+  reg.counter("operand_cache.evictions").add(s.evictions);
+  reg.counter("operand_cache.invalidations").add(s.invalidations);
+  reg.gauge("operand_cache.bytes").set(double(s.bytes));
+  reg.gauge("operand_cache.peak_bytes").set_max(double(s.peak_bytes));
 }
 
 void pack_operand(const AnyTile& t, PackLayout layout, Precision prec,

@@ -44,6 +44,8 @@
 
 namespace mpgeo {
 
+class MetricsRegistry;
+
 /// Memory layout of a cached operand.
 enum class PackLayout : std::uint8_t {
   /// Column-major widen to double (SYRK/TRSM read-only operands).
@@ -128,6 +130,12 @@ class OperandCache {
   void clear();
 
   Stats stats() const;
+
+  /// Report the current Stats into `reg`: counters operand_cache.hits /
+  /// .misses / .evictions / .invalidations and gauges operand_cache.bytes /
+  /// .peak_bytes. Counters are cumulative adds — publish once per cache
+  /// lifetime (e.g. after a factorization), not periodically.
+  void publish(MetricsRegistry& reg) const;
 
   std::size_t byte_budget() const { return budget_; }
 

@@ -1,0 +1,90 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+
+CriticalPathReport critical_path(const TaskGraph& graph,
+                                 const std::vector<double>& durations) {
+  const std::size_t nt = graph.num_tasks();
+  MPGEO_REQUIRE(durations.size() == nt,
+                "critical_path: durations size != num_tasks");
+  CriticalPathReport r;
+  if (nt == 0) return r;
+
+  // Forward relaxation in insertion order (== topological order, a TaskGraph
+  // invariant): dist[t] = durations[t] + max over predecessors dist[p].
+  std::vector<double> dist(nt, 0.0);
+  std::vector<TaskId> best_pred(nt, kNoTask);
+  for (TaskId t = 0; t < nt; ++t) {
+    dist[t] += durations[t];
+    for (TaskId succ : graph.task(t).successors) {
+      MPGEO_ASSERT(succ > t);  // topological order violated otherwise
+      if (dist[t] > dist[succ]) {
+        dist[succ] = dist[t];
+        best_pred[succ] = t;
+      }
+    }
+  }
+
+  TaskId tail = 0;
+  for (TaskId t = 1; t < nt; ++t) {
+    if (dist[t] > dist[tail]) tail = t;
+  }
+  r.length_seconds = dist[tail];
+
+  for (TaskId t = tail; t != kNoTask; t = best_pred[t]) r.path.push_back(t);
+  std::reverse(r.path.begin(), r.path.end());
+
+  std::map<std::pair<KernelKind, Precision>, CriticalPathContributor> agg;
+  for (TaskId t : r.path) {
+    const TaskInfo& info = graph.task(t).info;
+    CriticalPathContributor& c = agg[{info.kind, info.prec}];
+    c.kind = info.kind;
+    c.prec = info.prec;
+    c.seconds += durations[t];
+    c.tasks += 1;
+  }
+  r.contributors.reserve(agg.size());
+  for (const auto& [key, c] : agg) r.contributors.push_back(c);
+  std::sort(r.contributors.begin(), r.contributors.end(),
+            [](const CriticalPathContributor& a,
+               const CriticalPathContributor& b) {
+              return a.seconds > b.seconds;
+            });
+  return r;
+}
+
+CriticalPathReport critical_path(const TaskGraph& graph,
+                                 const ExecutionReport& report) {
+  MPGEO_REQUIRE(!report.trace.empty() || report.tasks_run == 0,
+                "critical_path: report has no trace (enable "
+                "ExecutorOptions::capture_trace)");
+  std::vector<double> durations(graph.num_tasks(), 0.0);
+  for (const TaskTraceEntry& e : report.trace) {
+    MPGEO_REQUIRE(e.task < graph.num_tasks(),
+                  "critical_path: trace references unknown task");
+    durations[e.task] = e.end_seconds - e.start_seconds;
+  }
+  return critical_path(graph, durations);
+}
+
+CriticalPathReport critical_path(const TaskGraph& graph,
+                                 const SimReport& report) {
+  MPGEO_REQUIRE(!report.timeline.empty() || graph.num_tasks() == 0,
+                "critical_path: report has no timeline (enable "
+                "SimOptions::capture_timeline)");
+  std::vector<double> durations(graph.num_tasks(), 0.0);
+  for (const SimTaskRecord& r : report.timeline) {
+    MPGEO_REQUIRE(r.task < graph.num_tasks(),
+                  "critical_path: timeline references unknown task");
+    durations[r.task] = r.end_seconds - r.start_seconds;
+  }
+  return critical_path(graph, durations);
+}
+
+}  // namespace mpgeo

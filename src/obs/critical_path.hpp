@@ -1,0 +1,58 @@
+// Critical-path analysis over an executed DAG: the longest weighted
+// dependency chain through the graph, using measured (real run) or simulated
+// durations as weights. The path length lower-bounds the makespan of any
+// schedule, so makespan / critical-path length reads directly as "how much
+// of the remaining time is schedulable parallelism vs. inherent chain" — the
+// lens the paper uses when the panel (POTRF/TRSM and the STC conversions
+// gating broadcasts) serializes an iteration (Fig 9's occupancy dips).
+//
+// The contributor breakdown aggregates path time by (kernel kind, compute
+// precision): if FP64 POTRF dominates the chain, lowering trailing-update
+// precision cannot shorten the run — exactly the "which conversions pay"
+// question the precision-strategy layer needs answered.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/sim_executor.hpp"
+#include "precision/precision.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace mpgeo {
+
+/// Aggregate time a (kernel kind, precision) class contributes to the path.
+struct CriticalPathContributor {
+  KernelKind kind = KernelKind::CUSTOM;
+  Precision prec = Precision::FP64;
+  double seconds = 0.0;
+  std::size_t tasks = 0;
+};
+
+struct CriticalPathReport {
+  /// Sum of task durations along the longest path. Always <= makespan of the
+  /// schedule the durations came from (transfers/queueing only add time).
+  double length_seconds = 0.0;
+  /// Task ids along the path, in execution (topological) order.
+  std::vector<TaskId> path;
+  /// Per (kind, precision) breakdown of the path, sorted by descending
+  /// seconds. Take the first k entries for a top-k summary.
+  std::vector<CriticalPathContributor> contributors;
+};
+
+/// Core analyzer: durations[t] is task t's weight in seconds (size must equal
+/// graph.num_tasks(); untraced tasks contribute 0). Relies on the TaskGraph
+/// invariant that insertion order is a topological order.
+CriticalPathReport critical_path(const TaskGraph& graph,
+                                 const std::vector<double>& durations);
+
+/// Weights from a real run's trace (requires capture_trace).
+CriticalPathReport critical_path(const TaskGraph& graph,
+                                 const ExecutionReport& report);
+
+/// Weights from a simulated run's timeline (requires capture_timeline).
+CriticalPathReport critical_path(const TaskGraph& graph,
+                                 const SimReport& report);
+
+}  // namespace mpgeo

@@ -12,9 +12,29 @@
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
 
 namespace mpgeo {
 namespace {
+
+/// Resolved metric handles for one execution; default-constructed handles
+/// are no-op sinks, so an execution without a registry pays one null check
+/// per event and no branches at call sites.
+struct ExecutorMetrics {
+  explicit ExecutorMetrics(MetricsRegistry* reg) {
+    if (!reg) return;
+    tasks_retired = reg->counter("executor.tasks_retired");
+    steals = reg->counter("executor.steals");
+    parks = reg->counter("executor.parks");
+    wakeups = reg->counter("executor.wakeups");
+    max_queue_depth = reg->gauge("executor.max_queue_depth");
+  }
+  MetricsRegistry::Counter tasks_retired;
+  MetricsRegistry::Counter steals;
+  MetricsRegistry::Counter parks;
+  MetricsRegistry::Counter wakeups;
+  MetricsRegistry::Gauge max_queue_depth;
+};
 
 // ---------------------------------------------------------------------------
 // Priority model, shared by both schedulers.
@@ -66,7 +86,10 @@ std::size_t resolve_thread_count(const ExecutorOptions& options,
 class SeedRun {
  public:
   SeedRun(const TaskGraph& graph, const ExecutorOptions& options)
-      : graph_(graph), options_(options), remaining_(graph.num_tasks()) {
+      : graph_(graph),
+        options_(options),
+        metrics_(options.metrics),
+        remaining_(graph.num_tasks()) {
     indegree_.reserve(graph.num_tasks());
     for (TaskId t = 0; t < graph.num_tasks(); ++t) {
       indegree_.emplace_back(graph.task(t).num_predecessors);
@@ -139,6 +162,7 @@ class SeedRun {
         }
       }
       const double t1 = clock.seconds();
+      metrics_.tasks_retired.add_sharded(1, worker);
 
       {
         std::unique_lock lk(mu_);
@@ -168,6 +192,7 @@ class SeedRun {
 
   const TaskGraph& graph_;
   const ExecutorOptions& options_;
+  ExecutorMetrics metrics_;
   std::vector<std::uint32_t> indegree_;
   std::vector<TaskId> ready_;
   std::size_t remaining_;
@@ -210,6 +235,7 @@ class WorkStealingRun {
   WorkStealingRun(const TaskGraph& graph, const ExecutorOptions& options)
       : graph_(graph),
         options_(options),
+        metrics_(options.metrics),
         remaining_(graph.num_tasks()),
         indegree_(std::make_unique<std::atomic<std::uint32_t>[]>(
             graph.num_tasks())) {
@@ -270,11 +296,13 @@ class WorkStealingRun {
   }
 
   void push_local(WorkerState& ws, TaskId id) {
+    int depth = 0;
     {
       std::lock_guard lk(ws.mu);
       ws.buckets[std::size_t(bucket_of(id))].push_back(id);
-      ws.approx_size.fetch_add(1, std::memory_order_relaxed);
+      depth = ws.approx_size.fetch_add(1, std::memory_order_relaxed) + 1;
     }
+    metrics_.max_queue_depth.set_max(double(depth));
     queued_.fetch_add(1, std::memory_order_seq_cst);
   }
 
@@ -304,6 +332,7 @@ class WorkStealingRun {
           bucket.pop_front();
           victim.approx_size.fetch_sub(1, std::memory_order_relaxed);
           queued_.fetch_sub(1, std::memory_order_seq_cst);
+          metrics_.steals.add_sharded(1, self);
           return true;
         }
       }
@@ -325,6 +354,7 @@ class WorkStealingRun {
     sleepers_.push_back(self);
     num_sleepers_.store(sleepers_.size(), std::memory_order_seq_cst);
     ws.wake_signal = false;
+    metrics_.parks.add_sharded(1, self);
     ws.park_cv.wait(lk, [&ws] { return ws.wake_signal; });
   }
 
@@ -337,6 +367,7 @@ class WorkStealingRun {
     sleepers_.pop_back();
     num_sleepers_.store(sleepers_.size(), std::memory_order_seq_cst);
     workers_[w].wake_signal = true;
+    metrics_.wakeups.add();
     workers_[w].park_cv.notify_one();
   }
 
@@ -390,6 +421,7 @@ class WorkStealingRun {
     if (options_.capture_trace) {
       ws.trace.push_back(TaskTraceEntry{id, self, t0, clock.seconds()});
     }
+    metrics_.tasks_retired.add_sharded(1, self);
 
     // Retire: lock-free indegree decrement; the decrement that reaches zero
     // transfers ownership of the successor to this worker.
@@ -414,6 +446,7 @@ class WorkStealingRun {
 
   const TaskGraph& graph_;
   const ExecutorOptions& options_;
+  ExecutorMetrics metrics_;
   std::atomic<std::size_t> remaining_;
   std::unique_ptr<std::atomic<std::uint32_t>[]> indegree_;
   std::vector<WorkerState> workers_;

@@ -15,6 +15,8 @@
 
 namespace mpgeo {
 
+class MetricsRegistry;
+
 /// Per-task execution record for post-mortem analysis / Gantt rendering.
 struct TaskTraceEntry {
   TaskId task = 0;
@@ -43,6 +45,12 @@ struct ExecutorOptions {
   /// false falls back to the seed single-queue scheduler, kept for A/B
   /// comparison in bench_scheduler and as a behavioural reference.
   bool use_work_stealing = true;
+  /// Report scheduler counters into this registry (null = off):
+  /// executor.tasks_retired, executor.steals, executor.parks,
+  /// executor.wakeups, and the executor.max_queue_depth gauge (peak size of
+  /// any one worker's ready deques). Counter adds are sharded by worker
+  /// index, so instrumentation stays uncontended on the hot path.
+  MetricsRegistry* metrics = nullptr;
   /// Called on the retiring worker after a task's body returns and before
   /// its successors are released, in both schedulers. Dataflow users hook
   /// this to observe writes as they commit — e.g. invalidating operand-cache

@@ -81,6 +81,11 @@ struct TaskInfo {
   /// HBM bytes of receiver-side (TTC) datatype conversions folded into this
   /// task's runtime — the per-consumer conversion cost STC eliminates.
   double extra_conv_bytes = 0.0;
+  /// Number of logical conversions those bytes comprise. Each one carries the
+  /// same kernel-launch overhead an explicit CONVERT task pays — the exact
+  /// fixed cost the STC/TTC comparison amortizes — so the cost model charges
+  /// it per conversion, not per byte.
+  int extra_conv_count = 0;
 };
 
 /// A logical datum (a tile). `bytes` is its at-rest footprint; used as the

@@ -1,26 +1,7 @@
-// Export an ExecutionReport's task trace in the Chrome tracing ("catapult")
-// JSON format: load the file at chrome://tracing or https://ui.perfetto.dev
-// to see the Gantt chart of the asynchronous execution — which tasks ran
-// where, how well the trailing updates filled the workers, where the panel
-// serialized. The moral equivalent of PaRSEC's profiling tools the paper
-// cites for performance analysis.
+// Forwarding header: the trace writers moved to the observability layer
+// (obs/trace.hpp), which unifies real-run and simulated-run export behind
+// one Perfetto event schema. Kept so existing includes keep compiling;
+// callers must link mpgeo_obs.
 #pragma once
 
-#include <iosfwd>
-#include <string>
-
-#include "runtime/executor.hpp"
-#include "runtime/task_graph.hpp"
-
-namespace mpgeo {
-
-/// Write the trace to a stream. Requires the report to have been produced
-/// with ExecutorOptions::capture_trace = true (throws otherwise).
-void write_chrome_trace(const ExecutionReport& report, const TaskGraph& graph,
-                        std::ostream& os);
-
-/// Convenience: write to a file path.
-void write_chrome_trace_file(const ExecutionReport& report,
-                             const TaskGraph& graph, const std::string& path);
-
-}  // namespace mpgeo
+#include "obs/trace.hpp"

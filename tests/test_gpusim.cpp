@@ -3,6 +3,7 @@
 // simulator invariants (conservation, overlap, out-of-core behaviour).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -384,6 +385,91 @@ TEST(SimExecutor, UnmappedTaskRejected) {
   TaskInfo ti;  // device defaults to -1
   g.add_task(ti, {{x, AccessMode::Read}});
   EXPECT_THROW(simulate(g, cluster, {}), Error);
+}
+
+TEST(CostModel, FoldedConversionChargesLaunchOverhead) {
+  const CostModel cm(v100_spec());
+  const std::size_t tile = 2048;
+  TaskInfo base;
+  base.kind = KernelKind::GEMM;
+  base.prec = Precision::FP64;
+  const double t_base = cm.task_seconds(base, tile);
+
+  // One folded FP32->FP64 widening must cost exactly what the explicit
+  // CONVERT kernel would: bytes at HBM bandwidth plus the launch overhead.
+  // (The old model charged the bytes but not the launch, biasing every
+  // STC/TTC comparison toward receiver-side conversion.)
+  const std::size_t elems = tile * tile;
+  TaskInfo conv = base;
+  conv.extra_conv_bytes = double(elems) * (4.0 + 8.0);
+  conv.extra_conv_count = 1;
+  EXPECT_NEAR(cm.task_seconds(conv, tile) - t_base,
+              cm.conversion_seconds(elems, Storage::FP32, Storage::FP64),
+              1e-12);
+
+  // The launch overhead scales with the number of logical conversions.
+  TaskInfo conv3 = conv;
+  conv3.extra_conv_count = 3;
+  EXPECT_NEAR(cm.task_seconds(conv3, tile) - cm.task_seconds(conv, tile),
+              2.0 * CostModel::kConversionLaunchSeconds, 1e-15);
+}
+
+TEST(SimExecutor, OccupancyTailWindowNormalizedByActualLength) {
+  const ClusterConfig cluster = single_gpu(GpuModel::V100);
+  TaskGraph g = chain_graph(1, 0, 7.8e12 * 0.01, 1 << 10);
+  const double makespan = simulate(g, cluster, {}).makespan_seconds;
+  ASSERT_GT(makespan, 0.0);
+
+  // Two windows, with the second covering only makespan/3. The device is
+  // busy to the last instant, so the tail window must read 1.0; normalizing
+  // by the full dt (the old bug) would report it as ~0.5.
+  SimOptions opts;
+  opts.occupancy_sample_seconds = makespan / 1.5;
+  const SimReport r = simulate(g, cluster, opts);
+  ASSERT_EQ(r.occupancy.size(), 1u);
+  ASSERT_EQ(r.occupancy[0].size(), 2u);
+  EXPECT_NEAR(r.occupancy[0].back(), 1.0, 1e-9);
+}
+
+TEST(SimExecutor, OccupancyWindowsReconcileWithBusySeconds) {
+  const ClusterConfig cluster = haxane_node();
+  const int gpus = cluster.total_gpus();
+  TaskGraph g;
+  std::vector<DataId> data;
+  for (int i = 0; i < 4; ++i) {
+    DataInfo d;
+    d.bytes = 8u << 20;
+    data.push_back(g.add_data(d));
+  }
+  for (int i = 0; i < 40; ++i) {
+    TaskInfo ti;
+    ti.kind = KernelKind::CUSTOM;
+    ti.prec = Precision::FP64;
+    ti.flops = 1e9 * (1 + i % 7);
+    ti.device = i % gpus;
+    const AccessMode mode = (i % 3 == 0) ? AccessMode::ReadWrite
+                                         : AccessMode::Read;
+    g.add_task(ti, {{data[std::size_t(i) % data.size()], mode}});
+  }
+
+  SimOptions opts;
+  opts.occupancy_sample_seconds = 1e-3;
+  const SimReport r = simulate(g, cluster, opts);
+  ASSERT_EQ(r.occupancy.size(), std::size_t(gpus));
+  const double dt = r.occupancy_sample_seconds;
+  for (int dev = 0; dev < gpus; ++dev) {
+    // Per-window fractions times actual window lengths must integrate back
+    // to exactly the device's busy time — the property the tail-window
+    // normalization bug broke.
+    double integrated = 0.0;
+    for (std::size_t w = 0; w < r.occupancy[dev].size(); ++w) {
+      const double wlen =
+          std::min(dt, r.makespan_seconds - double(w) * dt);
+      integrated += r.occupancy[dev][w] * wlen;
+    }
+    EXPECT_NEAR(integrated, r.devices[dev].busy_seconds,
+                1e-9 * std::max(1.0, r.devices[dev].busy_seconds));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,481 @@
+// Tests for the observability layer (src/obs): metrics registry semantics
+// and thread-safety, golden-file validation of both Chrome trace writers
+// (flow events, counter tracks, fixed-point timestamps, control-character
+// escapes), schema parity between a real mp_cholesky trace and a SimExecutor
+// replay of the same graph, registry/SimReport reconciliation, and the
+// critical-path analyzer.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/mp_cholesky.hpp"
+#include "core/tiled_covariance.hpp"
+#include "gpusim/cluster.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "stats/covariance.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator: enough to assert the writers
+// emit well-formed documents (CI additionally runs `python -m json.tool`
+// over real artifacts).
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool valid() {
+    skip();
+    if (!value()) return false;
+    skip();
+    return i_ == s_.size();
+  }
+
+ private:
+  void skip() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_])))
+      ++i_;
+  }
+  bool eat(char c) {
+    skip();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+  bool value() {
+    skip();
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return str();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    do {
+      skip();
+      if (!str() || !eat(':') || !value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+  bool array() {
+    if (!eat('[')) return false;
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+  bool str() {
+    if (i_ >= s_.size() || s_[i_] != '"') return false;
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      const auto u = static_cast<unsigned char>(s_[i_]);
+      if (u < 0x20) return false;  // raw control char: invalid JSON
+      if (s_[i_] == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return false;
+      }
+      ++i_;
+    }
+    return i_ < s_.size() && s_[i_++] == '"';
+  }
+  bool number() {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && (s_[i_] == '-' || s_[i_] == '+')) ++i_;
+    bool digits = false;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
+            s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
+            s_[i_] == '-' || s_[i_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(s_[i_]))) digits = true;
+      ++i_;
+    }
+    return digits && i_ > start;
+  }
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      if (i_ >= s_.size() || s_[i_] != *p) return false;
+      ++i_;
+    }
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+bool json_valid(const std::string& s) { return JsonChecker(s).valid(); }
+
+std::size_t count_substr(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  MetricsRegistry::Counter c = reg.counter("a.b");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(reg.counter_value("a.b"), 42u);
+  // Same name resolves to the same metric.
+  reg.counter("a.b").add_sharded(8, 3);
+  EXPECT_EQ(reg.counter_value("a.b"), 50u);
+  EXPECT_EQ(reg.counter_value("never.registered"), 0u);
+
+  MetricsRegistry::Gauge g = reg.gauge("q");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("q"), 2.5);
+  g.set_max(1.0);  // lower: no-op
+  EXPECT_DOUBLE_EQ(reg.gauge_value("q"), 2.5);
+  g.set_max(7.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("q"), 7.0);
+}
+
+TEST(Metrics, DefaultHandlesAreNoops) {
+  MetricsRegistry::Counter c;
+  MetricsRegistry::Gauge g;
+  EXPECT_FALSE(bool(c));
+  EXPECT_FALSE(bool(g));
+  c.add(5);        // must not crash
+  c.add_sharded(5, 2);
+  g.set(1.0);
+  g.set_max(2.0);
+}
+
+TEST(Metrics, ShardedCountsExactUnderConcurrency) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Mix of registration (name lookup under the mutex) and hot adds.
+      MetricsRegistry::Counter c = reg.counter("hot");
+      for (int i = 0; i < kAdds; ++i) {
+        if (i % 2 == 0) {
+          c.add();
+        } else {
+          c.add_sharded(1, std::size_t(t));
+        }
+      }
+      reg.gauge("depth").set_max(double(t));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter_value("hot"), std::uint64_t(kThreads) * kAdds);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("depth"), double(kThreads - 1));
+}
+
+TEST(Metrics, JsonDumpValidatesAndSortsKeys) {
+  MetricsRegistry reg;
+  reg.counter("z.last").add(3);
+  reg.counter("a.first").add(1);
+  reg.gauge("m.gauge").set(0.5);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  EXPECT_NE(json.find("\"m.gauge\": 0.5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace writers: golden files
+// ---------------------------------------------------------------------------
+
+/// Two tasks in a chain (one dependency edge) with hand-picked times —
+/// deterministic input for byte-exact golden comparison.
+TaskGraph two_task_graph() {
+  TaskGraph g;
+  DataInfo d;
+  d.name = "x";
+  d.bytes = 1024;
+  const DataId x = g.add_data(d);
+  TaskInfo t0;
+  t0.name = "t0";
+  t0.kind = KernelKind::GEMM;
+  g.add_task(t0, {{x, AccessMode::Write}});
+  TaskInfo t1;
+  t1.name = "t1";
+  t1.kind = KernelKind::SYRK;
+  g.add_task(t1, {{x, AccessMode::Read}});
+  return g;
+}
+
+TEST(Trace, GoldenRealTrace) {
+  const TaskGraph g = two_task_graph();
+  ExecutionReport rep;
+  rep.tasks_run = 2;
+  rep.trace = {{0, 0, 0.0, 1e-6}, {1, 1, 2e-6, 3.5e-6}};
+  std::ostringstream os;
+  write_chrome_trace(rep, g, os);
+  const std::string expected = R"({"traceEvents": [
+  {"name": "process_name", "ph": "M", "pid": 0, "args": {"name": "host"}},
+  {"name": "thread_name", "ph": "M", "pid": 0, "tid": 0, "args": {"name": "worker0"}},
+  {"name": "thread_name", "ph": "M", "pid": 0, "tid": 1, "args": {"name": "worker1"}},
+  {"name": "t0", "cat": "GEMM", "ph": "X", "ts": 0.000, "dur": 1.000, "pid": 0, "tid": 0},
+  {"name": "t1", "cat": "SYRK", "ph": "X", "ts": 2.000, "dur": 1.500, "pid": 0, "tid": 1},
+  {"name": "dep", "cat": "dep", "ph": "s", "id": 0, "ts": 1.000, "pid": 0, "tid": 0},
+  {"name": "dep", "cat": "dep", "ph": "f", "bp": "e", "id": 0, "ts": 2.000, "pid": 0, "tid": 1},
+  {"name": "tasks_in_flight", "ph": "C", "pid": 0, "ts": 0.000, "args": {"tasks": 1}},
+  {"name": "tasks_in_flight", "ph": "C", "pid": 0, "ts": 1.000, "args": {"tasks": 0}},
+  {"name": "tasks_in_flight", "ph": "C", "pid": 0, "ts": 2.000, "args": {"tasks": 1}},
+  {"name": "tasks_in_flight", "ph": "C", "pid": 0, "ts": 3.500, "args": {"tasks": 0}}
+]}
+)";
+  EXPECT_EQ(os.str(), expected);
+  EXPECT_TRUE(json_valid(os.str()));
+}
+
+TEST(Trace, GoldenSimTrace) {
+  const TaskGraph g = two_task_graph();
+  SimReport rep;
+  rep.makespan_seconds = 3e-6;
+  rep.timeline = {{0, 0, 0.0, 1e-6}, {1, 0, 2e-6, 3e-6}};
+  rep.transfers = {{0, 0, 1024, 0.0, 5e-7, SimLinkClass::HostToDevice}};
+  std::ostringstream os;
+  write_sim_chrome_trace(rep, g, os);
+  const std::string expected = R"({"traceEvents": [
+  {"name": "process_name", "ph": "M", "pid": 0, "args": {"name": "gpu0"}},
+  {"name": "thread_name", "ph": "M", "pid": 0, "tid": 0, "args": {"name": "compute"}},
+  {"name": "thread_name", "ph": "M", "pid": 0, "tid": 1, "args": {"name": "copy-in"}},
+  {"name": "thread_name", "ph": "M", "pid": 0, "tid": 2, "args": {"name": "copy-out"}},
+  {"name": "t0", "cat": "GEMM", "ph": "X", "ts": 0.000, "dur": 1.000, "pid": 0, "tid": 0},
+  {"name": "t1", "cat": "SYRK", "ph": "X", "ts": 2.000, "dur": 1.000, "pid": 0, "tid": 0},
+  {"name": "x", "cat": "host_to_device", "ph": "X", "ts": 0.000, "dur": 0.500, "pid": 0, "tid": 1},
+  {"name": "dep", "cat": "dep", "ph": "s", "id": 0, "ts": 1.000, "pid": 0, "tid": 0},
+  {"name": "dep", "cat": "dep", "ph": "f", "bp": "e", "id": 0, "ts": 2.000, "pid": 0, "tid": 0},
+  {"name": "bytes.host_to_device", "ph": "C", "pid": 0, "ts": 0.500, "args": {"bytes": 1024}}
+]}
+)";
+  EXPECT_EQ(os.str(), expected);
+  EXPECT_TRUE(json_valid(os.str()));
+}
+
+TEST(Trace, FixedPointTimestampsSurvivePastOneSecond) {
+  // The old writer streamed ts with default precision (6 significant
+  // digits), so microsecond timestamps past ~1 s collapsed to 1.23457e+09
+  // and events reordered in the viewer.
+  const TaskGraph g = two_task_graph();
+  ExecutionReport rep;
+  rep.tasks_run = 2;
+  rep.trace = {{0, 0, 1234.5678912, 1234.5678922},
+               {1, 0, 1234.5678932, 1234.5678942}};
+  std::ostringstream os;
+  write_chrome_trace(rep, g, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ts\": 1234567891.200"), std::string::npos) << json;
+  EXPECT_EQ(json.find("e+"), std::string::npos);
+  EXPECT_TRUE(json_valid(json));
+}
+
+TEST(Trace, ControlCharactersEscapedNotDropped) {
+  TaskGraph g;
+  DataInfo d;
+  d.bytes = 8;
+  const DataId x = g.add_data(d);
+  TaskInfo ti;
+  ti.name = std::string("bad\x01name\tend");
+  g.add_task(ti, {{x, AccessMode::Write}});
+  ExecutionReport rep;
+  rep.tasks_run = 1;
+  rep.trace = {{0, 0, 0.0, 1e-6}};
+  std::ostringstream os;
+  write_chrome_trace(rep, g, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("bad\\u0001name\\u0009end"), std::string::npos) << json;
+  EXPECT_TRUE(json_valid(json));
+}
+
+TEST(Trace, SimWriterRequiresCapturedTimeline) {
+  const TaskGraph g = two_task_graph();
+  SimReport rep;  // no timeline
+  std::ostringstream os;
+  EXPECT_THROW(write_sim_chrome_trace(rep, g, os), Error);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: real mp_cholesky trace vs. a SimExecutor replay of the same
+// TaskGraph — one event schema, reconciled counters, bounded critical path.
+// ---------------------------------------------------------------------------
+
+TEST(Observability, RealAndSimTracesShareSchemaAndReconcile) {
+  Rng rng(7);
+  const LocationSet locs = generate_locations(64, 2, rng);
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> theta = {1.0, 0.05};
+  TileMatrix tiles = build_tiled_covariance(cov, locs, theta, 16);
+
+  MetricsRegistry real_reg;
+  MpCholeskyOptions opts;
+  opts.u_req = 1e-6;
+  opts.capture_trace = true;
+  opts.metrics = &real_reg;
+  const MpCholeskyResult res = mp_cholesky(tiles, opts);
+  ASSERT_EQ(res.info, 0);
+  ASSERT_TRUE(res.graph != nullptr);
+  const TaskGraph& graph = *res.graph;
+
+  // Executor counters reconcile with the graph.
+  EXPECT_EQ(real_reg.counter_value("executor.tasks_retired"),
+            graph.num_tasks());
+  EXPECT_GT(real_reg.counter_value("operand_cache.hits") +
+                real_reg.counter_value("operand_cache.misses"),
+            0u);
+
+  TraceExportOptions texp;
+  texp.metrics = &real_reg;
+  std::ostringstream real_os;
+  write_chrome_trace(res.exec, graph, real_os, texp);
+  const std::string real_json = real_os.str();
+  EXPECT_TRUE(json_valid(real_json));
+
+  // Replay the identical graph through the simulator on one GPU.
+  TaskGraph replay = graph;
+  for (TaskId t = 0; t < replay.num_tasks(); ++t) {
+    replay.task(t).info.device = 0;
+  }
+  MetricsRegistry sim_reg;
+  SimOptions sopts;
+  sopts.capture_timeline = true;
+  sopts.metrics = &sim_reg;
+  const SimReport sim = simulate(replay, single_gpu(GpuModel::V100), sopts);
+  EXPECT_EQ(sim.timeline.size(), replay.num_tasks());
+
+  TraceExportOptions sexp;
+  sexp.metrics = &sim_reg;
+  std::ostringstream sim_os;
+  write_sim_chrome_trace(sim, replay, sim_os, sexp);
+  const std::string sim_json = sim_os.str();
+  EXPECT_TRUE(json_valid(sim_json));
+
+  // Same event schema: every task name and kernel category appears in both,
+  // and both emit one flow arrow per dependency edge with matching ids.
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const std::string name = "\"" + graph.task(t).info.name + "\"";
+    EXPECT_NE(real_json.find(name), std::string::npos) << name;
+    EXPECT_NE(sim_json.find(name), std::string::npos) << name;
+  }
+  EXPECT_EQ(count_substr(real_json, "\"ph\": \"s\""), graph.num_edges());
+  EXPECT_EQ(count_substr(sim_json, "\"ph\": \"s\""), graph.num_edges());
+  EXPECT_EQ(count_substr(real_json, "\"ph\": \"f\""), graph.num_edges());
+  EXPECT_EQ(count_substr(sim_json, "\"ph\": \"f\""), graph.num_edges());
+
+  // Registry byte counters reconcile exactly with the SimReport.
+  EXPECT_EQ(sim_reg.counter_value("sim.device.0.bytes_received"),
+            sim.devices[0].bytes_received);
+  EXPECT_EQ(sim_reg.counter_value("sim.bytes.host_to_device") +
+                sim_reg.counter_value("sim.bytes.device_to_host") +
+                sim_reg.counter_value("sim.bytes.peer") +
+                sim_reg.counter_value("sim.bytes.network"),
+            sim.total_transfer_bytes());
+  EXPECT_EQ(sim_reg.counter_value("sim.tasks_retired"), graph.num_tasks());
+
+  // Critical path is bounded by the corresponding makespan in both worlds.
+  const CriticalPathReport real_cp = critical_path(graph, res.exec);
+  EXPECT_GT(real_cp.length_seconds, 0.0);
+  EXPECT_LE(real_cp.length_seconds, res.exec.wall_seconds * (1 + 1e-9));
+  const CriticalPathReport sim_cp = critical_path(replay, sim);
+  EXPECT_GT(sim_cp.length_seconds, 0.0);
+  EXPECT_LE(sim_cp.length_seconds, sim.makespan_seconds * (1 + 1e-9));
+}
+
+// ---------------------------------------------------------------------------
+// Critical path on a hand-built DAG with a known longest path.
+// ---------------------------------------------------------------------------
+
+TEST(CriticalPath, HandBuiltDagKnownLongestPath) {
+  // Diamond: A -> {B, C} -> D. Durations A=3, B=1, C=4, D=5.
+  // Longest path: A, C, D with length 12.
+  TaskGraph g;
+  DataInfo d;
+  d.bytes = 8;
+  const DataId x = g.add_data(d);
+  const DataId y = g.add_data(d);
+  const DataId u = g.add_data(d);
+  const DataId v = g.add_data(d);
+  TaskInfo a;
+  a.name = "A";
+  a.kind = KernelKind::POTRF;
+  a.prec = Precision::FP64;
+  g.add_task(a, {{x, AccessMode::Write}, {y, AccessMode::Write}});
+  TaskInfo bt;
+  bt.name = "B";
+  bt.kind = KernelKind::TRSM;
+  bt.prec = Precision::FP32;
+  g.add_task(bt, {{x, AccessMode::Read}, {u, AccessMode::Write}});
+  TaskInfo c;
+  c.name = "C";
+  c.kind = KernelKind::TRSM;
+  c.prec = Precision::FP32;
+  g.add_task(c, {{y, AccessMode::Read}, {v, AccessMode::Write}});
+  TaskInfo dt;
+  dt.name = "D";
+  dt.kind = KernelKind::GEMM;
+  dt.prec = Precision::FP16;
+  g.add_task(dt, {{u, AccessMode::Read}, {v, AccessMode::Read}});
+
+  const std::vector<double> durations = {3.0, 1.0, 4.0, 5.0};
+  const CriticalPathReport cp = critical_path(g, durations);
+  EXPECT_DOUBLE_EQ(cp.length_seconds, 12.0);
+  ASSERT_EQ(cp.path.size(), 3u);
+  EXPECT_EQ(cp.path[0], 0u);
+  EXPECT_EQ(cp.path[1], 2u);
+  EXPECT_EQ(cp.path[2], 3u);
+
+  // Contributors sorted by descending seconds: GEMM/FP16 5s, TRSM/FP32 4s,
+  // POTRF/FP64 3s.
+  ASSERT_EQ(cp.contributors.size(), 3u);
+  EXPECT_EQ(cp.contributors[0].kind, KernelKind::GEMM);
+  EXPECT_DOUBLE_EQ(cp.contributors[0].seconds, 5.0);
+  EXPECT_EQ(cp.contributors[1].kind, KernelKind::TRSM);
+  EXPECT_EQ(cp.contributors[1].prec, Precision::FP32);
+  EXPECT_DOUBLE_EQ(cp.contributors[1].seconds, 4.0);
+  EXPECT_EQ(cp.contributors[2].kind, KernelKind::POTRF);
+  EXPECT_EQ(cp.contributors[2].tasks, 1u);
+}
+
+TEST(CriticalPath, EmptyGraphAndSizeMismatch) {
+  TaskGraph g;
+  const CriticalPathReport cp = critical_path(g, std::vector<double>{});
+  EXPECT_DOUBLE_EQ(cp.length_seconds, 0.0);
+  EXPECT_TRUE(cp.path.empty());
+
+  DataInfo d;
+  d.bytes = 8;
+  const DataId x = g.add_data(d);
+  g.add_task(TaskInfo{}, {{x, AccessMode::Write}});
+  EXPECT_THROW(critical_path(g, std::vector<double>{}), Error);
+}
+
+}  // namespace
+}  // namespace mpgeo

@@ -304,7 +304,8 @@ TEST(Trace, ChromeTraceContainsEveryTask) {
   std::ostringstream os;
   write_chrome_trace(rep, g, os);
   const std::string json = os.str();
-  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   for (int i = 0; i < 5; ++i) {
     EXPECT_NE(json.find("task_" + std::to_string(i)), std::string::npos);
   }
