@@ -1,6 +1,7 @@
 #include "core/mle.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "common/error.hpp"
 #include "core/mp_cholesky.hpp"
@@ -18,6 +19,14 @@ constexpr double kLog2Pi = 1.83787706640934548356065947281;
 double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
                          std::span<const double> theta,
                          std::span<const double> z, const MleOptions& options) {
+  MleWorkspace workspace;
+  return mp_log_likelihood(cov, locs, theta, z, options, workspace);
+}
+
+double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
+                         std::span<const double> theta,
+                         std::span<const double> z, const MleOptions& options,
+                         MleWorkspace& workspace) {
   const std::size_t n = locs.size();
   MPGEO_REQUIRE(z.size() == n, "mp_log_likelihood: observation size mismatch");
 
@@ -25,13 +34,45 @@ double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
     return exact_log_likelihood(cov, locs, theta, z, options.nugget);
   }
 
-  TileMatrix sigma =
-      build_tiled_covariance(cov, locs, theta, options.tile, options.nugget);
+  // Sigma(theta). The fast path computes the theta-invariant tile distances
+  // once per fit and refills one reused buffer; after mp_cholesky re-stored
+  // tiles per the precision map, fill_tiled_covariance resets them to FP64.
+  // Generation runs as parallel GENERATE tasks on the same pool size the
+  // factorization uses (num_threads == 1 stays serial, e.g. under
+  // replica-level parallelism in run_monte_carlo).
+  TileMatrix* sigma_ptr = nullptr;
+  std::optional<TileMatrix> transient;
+  if (options.covgen_fast) {
+    if (!workspace.geometry || workspace.geometry->n() != n ||
+        workspace.geometry->nb() != options.tile) {
+      workspace.geometry = std::make_unique<TileGeometry>(locs, options.tile,
+                                                          options.metrics);
+    }
+    if (!workspace.sigma || workspace.sigma->n() != n ||
+        workspace.sigma->nb() != options.tile) {
+      workspace.sigma = std::make_unique<TileMatrix>(n, options.tile);
+    }
+    CovGenOptions gen;
+    gen.parallel = options.num_threads != 1;
+    gen.num_threads = options.num_threads;
+    gen.geometry = workspace.geometry.get();
+    gen.metrics = options.metrics;
+    fill_tiled_covariance(*workspace.sigma, cov, locs, theta, options.nugget,
+                          gen);
+    sigma_ptr = workspace.sigma.get();
+  } else {
+    transient.emplace(
+        build_tiled_covariance(cov, locs, theta, options.tile, options.nugget));
+    sigma_ptr = &*transient;
+  }
+  TileMatrix& sigma = *sigma_ptr;
+
   MpCholeskyOptions chol;
   chol.u_req = options.u_req;
   chol.comm = options.comm;
   chol.num_threads = options.num_threads;
   chol.fp16_32_rule_eps = options.fp16_32_rule_eps;
+  chol.metrics = options.metrics;
   const MpCholeskyResult res = mp_cholesky(sigma, chol);
   if (res.info != 0) return kFailedLogLik;
 
@@ -59,8 +100,12 @@ MleResult fit_mle(const Covariance& cov, const LocationSet& locs,
   // simplex, so we nudge inward by one tolerance-scale step.
   std::vector<double> start(p, options.lower_bound + 1e-3);
 
+  // One workspace for the whole fit: the optimizer evaluates the likelihood
+  // hundreds of times against the same locations, so the distance cache and
+  // the Sigma buffer are shared across every evaluation.
+  MleWorkspace workspace;
   const Objective objective = [&](std::span<const double> theta) {
-    return -mp_log_likelihood(cov, locs, theta, z, options);
+    return -mp_log_likelihood(cov, locs, theta, z, options, workspace);
   };
   const OptimResult opt = minimize(objective, start, lo, hi, options.optim);
 

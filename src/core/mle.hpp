@@ -6,15 +6,20 @@
 // [0.01, 2], optimizer started at the lower bounds, tolerance 1e-9.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/comm_map.hpp"
+#include "core/tile_geometry.hpp"
+#include "core/tile_matrix.hpp"
 #include "optim/optimizer.hpp"
 #include "stats/covariance.hpp"
 #include "stats/locations.hpp"
 
 namespace mpgeo {
+
+class MetricsRegistry;
 
 struct MleOptions {
   /// Required accuracy u_req driving the precision maps. Use `exact` for the
@@ -31,6 +36,24 @@ struct MleOptions {
   OptimOptions optim{1e-9, 4000, 0.25};
   double lower_bound = 0.01;  ///< paper: all params in [0.01, 2]
   double upper_bound = 2.0;
+  /// Covariance-generation fast path (DESIGN.md 5d): reuse one Sigma buffer
+  /// and the theta-invariant TileGeometry across every likelihood evaluation
+  /// of a fit, evaluate the covariance through batched kernels, and assemble
+  /// tiles in parallel on the work-stealing executor when num_threads allows.
+  /// Bit-identical to the rebuild-per-evaluation path (false), which is kept
+  /// for A/B and regression bisection.
+  bool covgen_fast = true;
+  /// covgen.*, executor and mp_cholesky counters (null = off).
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Reusable per-fit state for mp_log_likelihood: the distance cache and the
+/// Sigma tile buffer, built lazily on first use and shared across all
+/// evaluations of one fit. A workspace is tied to one (LocationSet, tile)
+/// pair — reusing it with different locations of the same size is undefined.
+struct MleWorkspace {
+  std::unique_ptr<TileGeometry> geometry;
+  std::unique_ptr<TileMatrix> sigma;
 };
 
 struct MleResult {
@@ -45,6 +68,15 @@ struct MleResult {
 double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
                          std::span<const double> theta,
                          std::span<const double> z, const MleOptions& options);
+
+/// Same evaluation against a caller-held workspace, so an optimizer loop
+/// computes the tile distances once and refills one Sigma buffer per
+/// candidate theta instead of rebuilding both. Results are bit-identical to
+/// the workspace-free overload.
+double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
+                         std::span<const double> theta,
+                         std::span<const double> z, const MleOptions& options,
+                         MleWorkspace& workspace);
 
 /// Fit theta-hat = argmax l(theta) from observations z.
 MleResult fit_mle(const Covariance& cov, const LocationSet& locs,

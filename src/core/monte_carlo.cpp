@@ -45,12 +45,16 @@ MonteCarloResult run_monte_carlo(const Covariance& cov,
   result.estimates.assign(num_params, {});
 
   MleOptions mle = config.mle;
-  mle.num_threads = 1;  // parallelism lives at the replica level
+  // Parallelism lives at the replica level: per-fit Cholesky AND covariance
+  // generation are forced single-threaded here, while each fit still shares
+  // its distance cache and Sigma buffer across all of its own likelihood
+  // evaluations (fit_mle's per-fit MleWorkspace).
+  mle.num_threads = 1;
 
   // One independent task per replica, run through the work-stealing
-  // executor (replicas, not tiles, fill the machine: per-fit Cholesky is
-  // forced single-threaded above). Estimates are aggregated per replica
-  // index so the result is identical regardless of completion order.
+  // executor (replicas, not tiles, fill the machine). Estimates are
+  // aggregated per replica index so the result is identical regardless of
+  // completion order.
   std::mutex mu;
   std::vector<std::vector<double>> per_replica(std::size_t(config.replicas));
   TaskGraph graph;

@@ -20,35 +20,50 @@ SampledNorms sample_tile_norms(const Covariance& cov, const LocationSet& locs,
   out.tile_norms.resize(nt * (nt + 1) / 2);
   const double elems = double(nb) * double(nb);
   double global_sq = 0.0;
+  // Sampled distances are gathered per tile and evaluated in one
+  // covariance_batch call (bit-identical to per-entry cov.value, minus its
+  // per-call parameter checks); the RNG draw order is unchanged.
+  std::vector<double> h;
+  h.reserve(samples);
+  auto sum_squares = [&] {
+    covariance_batch(cov, theta, h, h);
+    double acc = 0.0;
+    for (const double v : h) acc += v * v;
+    return acc;
+  };
   for (std::size_t m = 0; m < nt; ++m) {
     for (std::size_t k = 0; k <= m; ++k) {
       double mean_sq = 0.0;
       if (m == k) {
         // Diagonal tiles are dominated by the diagonal entries (sigma2);
         // sample off-diagonal entries and add the diagonal exactly.
-        double off_sq = 0.0;
+        h.clear();
         for (std::size_t s = 0; s < samples; ++s) {
           const std::size_t i = m * nb + rng.uniform_index(nb);
           std::size_t j = k * nb + rng.uniform_index(nb);
           if (i == j) j = k * nb + ((j - k * nb + 1) % nb);
           if (i == j) continue;  // nb == 1: no off-diagonal entries exist
-          const double v = cov.value(locs.distance(i, j), theta);
-          off_sq += v * v;
+          h.push_back(locs.distance(i, j));
         }
+        // Normalize by the samples actually accepted: rejected i == j
+        // collisions must not deflate the off-diagonal mean (with zero
+        // accepted samples there are no off-diagonal entries at all and the
+        // off-diagonal mass below is zero regardless).
+        const double off_sq = sum_squares();
+        mean_sq = h.empty() ? 0.0 : off_sq / double(h.size());
         const double diag_sq = theta[0] * theta[0] * double(nb);
-        mean_sq = off_sq / double(samples);
         const double tile_sq = mean_sq * (elems - double(nb)) + diag_sq;
         out.tile_norms[m * (m + 1) / 2 + k] = std::sqrt(tile_sq);
         global_sq += tile_sq;
         continue;
       }
+      h.clear();
       for (std::size_t s = 0; s < samples; ++s) {
         const std::size_t i = m * nb + rng.uniform_index(nb);
         const std::size_t j = k * nb + rng.uniform_index(nb);
-        const double v = cov.value(locs.distance(i, j), theta);
-        mean_sq += v * v;
+        h.push_back(locs.distance(i, j));
       }
-      mean_sq /= double(samples);
+      mean_sq = sum_squares() / double(samples);
       const double tile_sq = mean_sq * elems;
       out.tile_norms[m * (m + 1) / 2 + k] = std::sqrt(tile_sq);
       global_sq += 2.0 * tile_sq;  // mirrored upper triangle

@@ -1,0 +1,56 @@
+#include "core/tile_geometry.hpp"
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace mpgeo {
+
+TileGeometry::TileGeometry(const LocationSet& locs, std::size_t nb,
+                           MetricsRegistry* metrics)
+    : n_(locs.size()), nb_(nb) {
+  MPGEO_REQUIRE(n_ >= 1, "TileGeometry: empty location set");
+  MPGEO_REQUIRE(nb_ >= 1, "TileGeometry: tile size must be positive");
+  nt_ = (n_ + nb_ - 1) / nb_;
+
+  offsets_.resize(nt_ * (nt_ + 1) / 2 + 1);
+  std::size_t total = 0;
+  for (std::size_t m = 0; m < nt_; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      offsets_[index(m, k)] = total;
+      total += tile_rows(m) * tile_rows(k);
+    }
+  }
+  offsets_.back() = total;
+
+  dist_.resize(total);
+  for (std::size_t m = 0; m < nt_; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      const std::size_t mb = tile_rows(m);
+      distance_block(locs, m * nb_, k * nb_, mb, tile_rows(k),
+                     dist_.data() + offsets_[index(m, k)], mb);
+    }
+  }
+
+  if (metrics) {
+    metrics->counter("covgen.geometry_builds").add();
+    metrics->gauge("covgen.geometry_bytes").set_max(double(bytes()));
+  }
+}
+
+std::size_t TileGeometry::tile_rows(std::size_t m) const {
+  MPGEO_ASSERT(m < nt_);
+  return (m + 1 == nt_) ? n_ - m * nb_ : nb_;
+}
+
+std::span<const double> TileGeometry::tile_distances(std::size_t m,
+                                                     std::size_t k) const {
+  const std::size_t i = index(m, k);
+  return {dist_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+}
+
+std::size_t TileGeometry::index(std::size_t m, std::size_t k) const {
+  MPGEO_ASSERT(k <= m && m < nt_);
+  return m * (m + 1) / 2 + k;
+}
+
+}  // namespace mpgeo

@@ -1,0 +1,57 @@
+// Theta-invariant tile geometry: the per-tile Euclidean distance blocks of
+// the lower triangle, computed once per (LocationSet, nb) and reused across
+// every covariance generation that shares them.
+//
+// Motivation (paper Section VII-B): the MLE evaluates the likelihood
+// hundreds of times per fit, and Sigma(theta) is rebuilt for every candidate
+// theta — but the distances feeding C(h; theta) never change. Caching them
+// converts the per-evaluation generation cost from "distances + covariance"
+// to "covariance only", and turns the covariance step itself into a pure
+// elementwise map over a contiguous block (covariance_batch's ideal input).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+
+class MetricsRegistry;
+
+class TileGeometry {
+ public:
+  /// Precompute the distance block of every lower-triangle tile of the
+  /// n x n covariance matrix at tile size `nb` (the last tile may be
+  /// ragged). Blocks are bit-identical to per-entry locs.distance calls.
+  /// Reports covgen.geometry_builds and the covgen.geometry_bytes gauge
+  /// when `metrics` is non-null.
+  TileGeometry(const LocationSet& locs, std::size_t nb,
+               MetricsRegistry* metrics = nullptr);
+
+  std::size_t n() const { return n_; }
+  std::size_t nb() const { return nb_; }
+  std::size_t num_tiles() const { return nt_; }  ///< tiles per dimension
+
+  /// Rows in tile row m (mirrors TileMatrix::tile_rows).
+  std::size_t tile_rows(std::size_t m) const;
+
+  /// Column-major tile_rows(m) x tile_rows(k) distance block of tile (m, k),
+  /// m >= k: block[i + j*tile_rows(m)] = ||s_{m*nb+i} - s_{k*nb+j}||.
+  std::span<const double> tile_distances(std::size_t m, std::size_t k) const;
+
+  /// Resident bytes of the cached blocks.
+  std::size_t bytes() const { return dist_.size() * sizeof(double); }
+
+ private:
+  std::size_t index(std::size_t m, std::size_t k) const;
+
+  std::size_t n_ = 0;
+  std::size_t nb_ = 0;
+  std::size_t nt_ = 0;
+  std::vector<double> dist_;            ///< packed lower-triangle blocks
+  std::vector<std::size_t> offsets_;    ///< per-tile start into dist_
+};
+
+}  // namespace mpgeo

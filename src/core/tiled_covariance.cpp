@@ -1,29 +1,137 @@
 #include "core/tiled_covariance.hpp"
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/task_graph.hpp"
 
 namespace mpgeo {
+namespace {
+
+// Fill one tile: distances (cached or computed) -> one batched covariance
+// evaluation -> nugget on the global diagonal -> store. Scratch is
+// thread_local so parallel assembly allocates once per worker, not per tile.
+void fill_one_tile(TileMatrix& a, const Covariance& cov,
+                   const LocationSet& locs, std::span<const double> theta,
+                   double nugget, const CovGenOptions& options, std::size_t m,
+                   std::size_t k) {
+  if (a.tile(m, k).storage() != Storage::FP64) {
+    a.set_storage(m, k, Storage::FP64);
+  }
+  AnyTile& t = a.tile(m, k);
+  const std::size_t mb = t.rows();
+  const std::size_t kb = t.cols();
+  const std::size_t count = mb * kb;
+
+  thread_local std::vector<double> hbuf;
+  thread_local std::vector<double> vbuf;
+  vbuf.resize(count);
+
+  std::span<const double> h;
+  if (options.geometry) {
+    h = options.geometry->tile_distances(m, k);
+  } else {
+    hbuf.resize(count);
+    distance_block(locs, m * a.nb(), k * a.nb(), mb, kb, hbuf.data(), mb);
+    h = {hbuf.data(), count};
+  }
+  covariance_batch(cov, theta, h, vbuf);
+  if (m == k) {
+    const double shift = nugget * theta[0];
+    for (std::size_t i = 0; i < mb; ++i) vbuf[i + i * mb] += shift;
+  }
+  t.from_double(vbuf);
+}
+
+}  // namespace
+
+void fill_tiled_covariance(TileMatrix& a, const Covariance& cov,
+                           const LocationSet& locs,
+                           std::span<const double> theta, double nugget,
+                           const CovGenOptions& options) {
+  cov.check_params(theta);
+  MPGEO_REQUIRE(a.n() == locs.size(),
+                "fill_tiled_covariance: matrix/location size mismatch");
+  if (options.geometry) {
+    MPGEO_REQUIRE(options.geometry->n() == a.n() &&
+                      options.geometry->nb() == a.nb(),
+                  "fill_tiled_covariance: geometry shape mismatch");
+  }
+  Stopwatch sw;
+  const std::size_t nt = a.num_tiles();
+  const std::size_t num_tiles = nt * (nt + 1) / 2;
+
+  if (options.parallel && num_tiles > 1) {
+    TaskGraph graph;
+    for (std::size_t m = 0; m < nt; ++m) {
+      for (std::size_t k = 0; k <= m; ++k) {
+        DataInfo d;
+        d.name = "sigma(" + std::to_string(m) + "," + std::to_string(k) + ")";
+        d.bytes = a.tile(m, k).bytes();
+        const DataId id = graph.add_data(d);
+        TaskInfo ti;
+        ti.name = "generate(" + std::to_string(m) + "," + std::to_string(k) +
+                  ")";
+        ti.kind = KernelKind::GENERATE;
+        ti.tm = int(m);
+        ti.tn = int(k);
+        graph.add_task(ti, {{id, AccessMode::Write}}, [&, m, k] {
+          fill_one_tile(a, cov, locs, theta, nugget, options, m, k);
+        });
+      }
+    }
+    ExecutorOptions x;
+    x.num_threads = options.num_threads;
+    x.metrics = options.metrics;
+    execute(graph, x);
+  } else {
+    for (std::size_t m = 0; m < nt; ++m) {
+      for (std::size_t k = 0; k <= m; ++k) {
+        fill_one_tile(a, cov, locs, theta, nugget, options, m, k);
+      }
+    }
+  }
+
+  if (options.metrics) {
+    MetricsRegistry& reg = *options.metrics;
+    reg.counter("covgen.tiles").add(num_tiles);
+    reg.counter("covgen.batch_calls").add(num_tiles);
+    std::size_t values = 0;
+    for (std::size_t m = 0; m < nt; ++m) {
+      for (std::size_t k = 0; k <= m; ++k) {
+        values += a.tile_rows(m) * a.tile_rows(k);
+      }
+    }
+    reg.counter("covgen.values").add(values);
+    if (options.geometry) {
+      reg.counter("covgen.distance_cache_hits").add(num_tiles);
+    } else {
+      reg.counter("covgen.distance_blocks_computed").add(num_tiles);
+    }
+    reg.counter("covgen.nanos").add(std::uint64_t(sw.seconds() * 1e9));
+  }
+}
+
+TileMatrix build_tiled_covariance(const Covariance& cov,
+                                  const LocationSet& locs,
+                                  std::span<const double> theta, std::size_t nb,
+                                  double nugget,
+                                  const CovGenOptions& options) {
+  TileMatrix a(locs.size(), nb);
+  fill_tiled_covariance(a, cov, locs, theta, nugget, options);
+  return a;
+}
 
 TileMatrix build_tiled_covariance(const Covariance& cov,
                                   const LocationSet& locs,
                                   std::span<const double> theta, std::size_t nb,
                                   double nugget) {
-  cov.check_params(theta);
-  const std::size_t n = locs.size();
-  TileMatrix a(n, nb);
-  std::vector<double> buf;
-  for (std::size_t m = 0; m < a.num_tiles(); ++m) {
-    for (std::size_t k = 0; k <= m; ++k) {
-      AnyTile& t = a.tile(m, k);
-      buf.resize(t.size());
-      covariance_tile(cov, locs, theta, m * nb, k * nb, t.rows(), t.cols(),
-                      buf.data(), t.rows(), nugget);
-      t.from_double(buf);
-    }
-  }
-  return a;
+  return build_tiled_covariance(cov, locs, theta, nb, nugget, CovGenOptions{});
 }
 
 }  // namespace mpgeo

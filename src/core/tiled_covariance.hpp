@@ -2,18 +2,62 @@
 // the covariance matrix Sigma(theta) directly in tile form (FP64; the
 // precision/storage maps are applied afterwards by mp_cholesky, mirroring
 // the paper's generation-then-store-per-precision flow of Fig 2b).
+//
+// Generation fast path (DESIGN.md 5d): tiles are filled from batched
+// covariance kernels over cached distance blocks, optionally as parallel
+// GENERATE tasks on the work-stealing executor — ExaGeoStat generates
+// covariance tiles as runtime tasks for the same reason (generation is a
+// first-order cost at scale). Every option combination is bit-identical:
+// the knobs move work, never values.
 #pragma once
 
 #include <span>
 
+#include "core/tile_geometry.hpp"
 #include "core/tile_matrix.hpp"
 #include "stats/covariance.hpp"
 #include "stats/locations.hpp"
 
 namespace mpgeo {
 
+class MetricsRegistry;
+
+struct CovGenOptions {
+  /// Assemble tiles as one GENERATE task per tile on the work-stealing
+  /// executor. Tiles are disjoint, so parallel assembly is bit-identical to
+  /// the serial loop (kept for A/B and determinism tests).
+  bool parallel = false;
+  std::size_t num_threads = 0;  ///< worker pool size when parallel; 0 = hw
+  /// Cached theta-invariant distance blocks for this (LocationSet, nb).
+  /// Null = compute distances on the fly (per fill).
+  const TileGeometry* geometry = nullptr;
+  /// covgen.* counters (null = off): covgen.tiles, covgen.batch_calls,
+  /// covgen.values, covgen.distance_cache_hits,
+  /// covgen.distance_blocks_computed, covgen.nanos (wall time of fills;
+  /// divide by 1e9 for seconds) — plus the executor's own counters when
+  /// parallel.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Fill `a` (shaped n x nb over the same n as `locs`) with the lower
+/// triangle of Sigma(theta); `nugget * sigma2` is added on the global
+/// diagonal. Tiles whose storage is not FP64 (e.g. after a factorization
+/// re-stored them) are reset to FP64 first; FP64 tiles are refilled in
+/// place, so a likelihood loop reuses one buffer instead of reallocating
+/// Sigma per evaluation.
+void fill_tiled_covariance(TileMatrix& a, const Covariance& cov,
+                           const LocationSet& locs,
+                           std::span<const double> theta,
+                           double nugget = 1e-8,
+                           const CovGenOptions& options = {});
+
 /// Build the lower triangle of Sigma(theta) as an FP64 TileMatrix with tile
-/// size `nb`. `nugget * sigma2` is added on the global diagonal.
+/// size `nb`. The two-argument overload is the seed-compatible serial entry
+/// point (equivalent to default CovGenOptions).
+TileMatrix build_tiled_covariance(const Covariance& cov,
+                                  const LocationSet& locs,
+                                  std::span<const double> theta, std::size_t nb,
+                                  double nugget, const CovGenOptions& options);
 TileMatrix build_tiled_covariance(const Covariance& cov,
                                   const LocationSet& locs,
                                   std::span<const double> theta, std::size_t nb,

@@ -39,12 +39,141 @@ void Covariance::check_params(std::span<const double> theta) const {
   }
 }
 
+namespace {
+
+// std::lgamma writes the POSIX global `signgam`, a data race once tiles are
+// generated in parallel. nu > 0 here, so the sign is always +1 and the
+// reentrant variant — same glibc implementation, same bits — is a drop-in.
+double log_gamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+// Per-family batch kernels. Every evaluation in the library — scalar
+// Covariance::value, covariance_tile columns, whole-tile fills — funnels
+// through these loops, so there is exactly one definition of each formula
+// and batch/scalar bit-identity holds by construction.
+
+void batch_sqexp(double sigma2, double beta, const double* h, double* out,
+                 std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = sigma2 * std::exp(-(h[i] * h[i]) / beta);
+  }
+}
+
+void batch_powexp(double sigma2, double beta, double alpha, const double* h,
+                  double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = h[i] < 1e-300 ? sigma2
+                           : sigma2 * std::exp(-std::pow(h[i] / beta, alpha));
+  }
+}
+
+// Closed-form Matérn for the half-integer orders (nu = p + 1/2):
+//   nu = 0.5: sigma2 * e^{-r}
+//   nu = 1.5: sigma2 * (1 + r) e^{-r}
+//   nu = 2.5: sigma2 * (1 + r + r^2/3) e^{-r}
+// One exp per entry instead of a Temme-series/continued-fraction Bessel-K
+// evaluation — the bulk of the fast path's arithmetic win. The h < 1e-14
+// guard matches the general-nu path so the diagonal is exactly sigma2.
+void batch_matern_half(double nu, double sigma2, double beta, const double* h,
+                       double* out, std::size_t n) {
+  if (nu == 0.5) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = h[i] / beta;
+      out[i] = h[i] < 1e-14 ? sigma2 : sigma2 * std::exp(-r);
+    }
+  } else if (nu == 1.5) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = h[i] / beta;
+      out[i] = h[i] < 1e-14 ? sigma2 : sigma2 * (1.0 + r) * std::exp(-r);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = h[i] / beta;
+      out[i] = h[i] < 1e-14
+                   ? sigma2
+                   : sigma2 * (1.0 + r + r * r / 3.0) * std::exp(-r);
+    }
+  }
+}
+
+void batch_matern_general(double nu, double sigma2, double beta,
+                          const double* h, double* out, std::size_t n) {
+  // sigma2 * 2^{1-nu}/Gamma(nu) * r^nu * K_nu(r), computed in log space so
+  // that large r underflows smoothly instead of producing 0 * inf. The
+  // normalizer is theta-only, hoisted here; the summation order matches the
+  // seed per-entry formula, so results are unchanged bit for bit.
+  const double log_norm = (1.0 - nu) * std::log(2.0) - log_gamma(nu);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (h[i] < 1e-14) {
+      out[i] = sigma2;
+      continue;
+    }
+    const double r = h[i] / beta;
+    const double log_c = log_norm + nu * std::log(r) + log_bessel_k(nu, r);
+    out[i] = sigma2 * std::exp(log_c);
+  }
+}
+
+bool is_half_integer_matern(double nu) {
+  return nu == 0.5 || nu == 1.5 || nu == 2.5;
+}
+
+// Dispatch after validation: theta checked, h[i] >= 0.
+void batch_unchecked(CovKind kind, std::span<const double> theta,
+                     const double* h, double* out, std::size_t n) {
+  const double sigma2 = theta[0];
+  const double beta = theta[1];
+  switch (kind) {
+    case CovKind::SqExp:
+      batch_sqexp(sigma2, beta, h, out, n);
+      return;
+    case CovKind::PowExp:
+      batch_powexp(sigma2, beta, theta[2], h, out, n);
+      return;
+    case CovKind::Matern:
+      if (is_half_integer_matern(theta[2])) {
+        batch_matern_half(theta[2], sigma2, beta, h, out, n);
+      } else {
+        batch_matern_general(theta[2], sigma2, beta, h, out, n);
+      }
+      return;
+  }
+  MPGEO_ASSERT(false);
+}
+
+}  // namespace
+
 double Covariance::value(double h, std::span<const double> theta) const {
   check_params(theta);
   MPGEO_REQUIRE(h >= 0.0, "covariance: negative distance");
+  double out;
+  batch_unchecked(kind_, theta, &h, &out, 1);
+  return out;
+}
+
+void covariance_batch(const Covariance& cov, std::span<const double> theta,
+                      std::span<const double> h, std::span<double> out) {
+  cov.check_params(theta);
+  MPGEO_REQUIRE(h.size() == out.size(), "covariance_batch: size mismatch");
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    MPGEO_REQUIRE(h[i] >= 0.0, "covariance: negative distance");
+  }
+  batch_unchecked(cov.kind(), theta, h.data(), out.data(), h.size());
+}
+
+double reference_covariance_value(const Covariance& cov, double h,
+                                  std::span<const double> theta) {
+  cov.check_params(theta);
+  MPGEO_REQUIRE(h >= 0.0, "covariance: negative distance");
   const double sigma2 = theta[0];
   const double beta = theta[1];
-  switch (kind_) {
+  switch (cov.kind()) {
     case CovKind::SqExp:
       return sigma2 * std::exp(-(h * h) / beta);
     case CovKind::PowExp: {
@@ -56,9 +185,7 @@ double Covariance::value(double h, std::span<const double> theta) const {
       const double nu = theta[2];
       if (h < 1e-14) return sigma2;
       const double r = h / beta;
-      // sigma2 * 2^{1-nu}/Gamma(nu) * r^nu * K_nu(r), computed in log space
-      // so that large r underflows smoothly instead of producing 0 * inf.
-      const double log_c = (1.0 - nu) * std::log(2.0) - std::lgamma(nu) +
+      const double log_c = (1.0 - nu) * std::log(2.0) - log_gamma(nu) +
                            nu * std::log(r) + log_bessel_k(nu, r);
       return sigma2 * std::exp(log_c);
     }
@@ -76,13 +203,11 @@ void covariance_tile(const Covariance& cov, const LocationSet& locs,
                 "covariance_tile: tile exceeds location set");
   MPGEO_REQUIRE(ld >= mb, "covariance_tile: ld too small");
   for (std::size_t j = 0; j < nb; ++j) {
-    for (std::size_t i = 0; i < mb; ++i) {
-      const std::size_t gi = r0 + i;
-      const std::size_t gj = c0 + j;
-      double v = cov.value(locs.distance(gi, gj), theta);
-      if (gi == gj) v += nugget * theta[0];
-      out[i + j * ld] = v;
-    }
+    const std::size_t gj = c0 + j;
+    double* col = out + j * ld;
+    distance_block(locs, r0, gj, mb, 1, col, mb);
+    batch_unchecked(cov.kind(), theta, col, col, mb);
+    if (gj >= r0 && gj < r0 + mb) col[gj - r0] += nugget * theta[0];
   }
 }
 

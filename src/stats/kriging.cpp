@@ -35,6 +35,8 @@ KrigingResult krige(const Covariance& cov, const LocationSet& observed,
   const double sill = cov.value(0.0, theta);
   std::vector<double> k(n);
   for (std::size_t j = 0; j < m; ++j) {
+    // Distances first, then one batched covariance evaluation in place —
+    // same values as per-entry cov.value without its per-call checks.
     for (std::size_t i = 0; i < n; ++i) {
       double acc = 0.0;
       for (int d = 0; d < observed.dim; ++d) {
@@ -42,8 +44,9 @@ KrigingResult krige(const Covariance& cov, const LocationSet& observed,
                             targets.coords[j * targets.dim + d];
         acc += diff * diff;
       }
-      k[i] = cov.value(std::sqrt(acc), theta);
+      k[i] = std::sqrt(acc);
     }
+    covariance_batch(cov, theta, k, k);
     forward_solve(sigma, k);  // k = L^{-1} k_j
     double mean = 0.0, reduction = 0.0;
     for (std::size_t i = 0; i < n; ++i) {

@@ -55,6 +55,31 @@ double LocationSet::distance(std::size_t i, std::size_t j) const {
   return std::sqrt(acc);
 }
 
+void distance_block(const LocationSet& locs, std::size_t r0, std::size_t c0,
+                    std::size_t mb, std::size_t nb, double* out,
+                    std::size_t ld) {
+  MPGEO_REQUIRE(r0 + mb <= locs.size() && c0 + nb <= locs.size(),
+                "distance_block: block exceeds location set");
+  MPGEO_REQUIRE(ld >= mb, "distance_block: ld too small");
+  const int dim = locs.dim;
+  const double* coords = locs.coords.data();
+  for (std::size_t j = 0; j < nb; ++j) {
+    const double* cj = coords + (c0 + j) * dim;
+    double* col = out + j * ld;
+    for (std::size_t i = 0; i < mb; ++i) {
+      const double* ci = coords + (r0 + i) * dim;
+      // Same accumulation as LocationSet::distance so cached blocks match
+      // per-entry evaluation bit for bit.
+      double acc = 0.0;
+      for (int d = 0; d < dim; ++d) {
+        const double diff = ci[d] - cj[d];
+        acc += diff * diff;
+      }
+      col[i] = std::sqrt(acc);
+    }
+  }
+}
+
 void morton_sort(LocationSet& locs) {
   const std::size_t n = locs.size();
   std::vector<std::size_t> order(n);

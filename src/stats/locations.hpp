@@ -23,6 +23,14 @@ struct LocationSet {
   double distance(std::size_t i, std::size_t j) const;
 };
 
+/// Fill `out` (column-major, leading dimension ld >= mb) with the pairwise
+/// distances out[i + j*ld] = ||s_{r0+i} - s_{c0+j}|| for i < mb, j < nb.
+/// Bit-identical to calling locs.distance per entry — the contract the
+/// TileGeometry distance cache and covariance_tile both rely on.
+void distance_block(const LocationSet& locs, std::size_t r0, std::size_t c0,
+                    std::size_t mb, std::size_t nb, double* out,
+                    std::size_t ld);
+
 /// Generate `n` jittered-grid locations in [0,1]^dim, Morton sorted.
 /// The same (n, dim, seed) triple always yields the same set.
 LocationSet generate_locations(std::size_t n, int dim, Rng& rng,
