@@ -212,6 +212,53 @@ void run_observed(const mpgeo::bench::ObsFlags& obs) {
   }
 }
 
+/// One injected run of the diamond DAG under each scheduler: prints the
+/// failed/cancelled/completed partition and checks the two schedulers agree
+/// (they must — the failure sets are a pure function of graph + injector).
+/// The obs flags apply to the work-stealing run, so `--trace` exports the
+/// injected timeline with its FAILED/CANCELLED span categories.
+void run_injected(const mpgeo::FaultInjectionOptions& fault,
+                  const mpgeo::bench::ObsFlags& obs) {
+  using namespace mpgeo;
+  TaskGraph g = make_diamond_dag(256, 8, tiny_body());
+  std::vector<TaskId> ref_failed;
+  for (const bool ws : {false, true}) {
+    FaultInjector inj(fault);
+    MetricsRegistry registry;
+    ExecutorOptions opts;
+    opts.use_work_stealing = ws;
+    opts.rethrow_errors = false;
+    opts.fault_injector = &inj;
+    opts.capture_trace = ws && obs.any();
+    opts.metrics = ws && obs.any() ? &registry : nullptr;
+    const ExecutionReport rep = execute(g, opts);
+    std::fprintf(stderr,
+                 "[fault] %s: %zu tasks -> %zu completed, %zu failed, %zu "
+                 "cancelled (%llu injections)\n",
+                 ws ? "work-stealing" : "seed", g.num_tasks(), rep.tasks_run,
+                 rep.report.failed.size(), rep.report.cancelled.size(),
+                 (unsigned long long)inj.injections());
+    if (ws) {
+      std::fprintf(stderr, "[fault] schedulers agree on failure set: %s\n",
+                   rep.report.failed == ref_failed ? "yes" : "NO");
+    } else {
+      ref_failed = rep.report.failed;
+    }
+    if (ws && !obs.trace_path.empty()) {
+      TraceExportOptions topts;
+      topts.metrics = &registry;
+      write_chrome_trace_file(rep, g, obs.trace_path, topts);
+      std::fprintf(stderr, "[fault] trace written to %s\n",
+                   obs.trace_path.c_str());
+    }
+    if (ws && !obs.metrics_path.empty()) {
+      registry.write_json_file(obs.metrics_path);
+      std::fprintf(stderr, "[fault] metrics written to %s\n",
+                   obs.metrics_path.c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,12 +266,15 @@ int main(int argc, char** argv) {
   mpgeo::bench::ObsFlags obs;
   obs.trace_path = mpgeo::bench::flag_from_args(argc, argv, "--trace");
   obs.metrics_path = mpgeo::bench::flag_from_args(argc, argv, "--metrics-json");
+  const auto fault = mpgeo::bench::inject_fault_from_args(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   mpgeo::bench::JsonWriter writer;
   CapturingReporter reporter(json_path.empty() ? nullptr : &writer);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   if (!json_path.empty() && !writer.write_file(json_path)) return 1;
-  if (obs.any()) run_observed(obs);
+  // With a fault spec the obs flags describe the injected run instead.
+  if (obs.any() && !fault) run_observed(obs);
+  if (fault) run_injected(*fault, obs);
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/fault_injection.hpp"
 #include "stats/covariance.hpp"
 #include "stats/locations.hpp"
 
@@ -240,6 +242,26 @@ inline std::string flag_from_args(int& argc, char** argv,
 /// remainder to the benchmark library; returns the path, or "" if absent.
 inline std::string json_path_from_args(int& argc, char** argv) {
   return flag_from_args(argc, argv, "--json");
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (DESIGN.md 5e): benches with a real-executor path accept
+// `--inject-fault <kind:prob:seed>` (kind in {exception, nan, overflow}) and
+// run their representative configuration with a seeded FaultInjector, so
+// forced-breakdown experiments (EXPERIMENTS.md) are one flag away.
+
+/// Parse a `--inject-fault` spec already extracted from the command line.
+/// Empty spec -> nullopt; malformed specs throw (Error) with the reason.
+inline std::optional<FaultInjectionOptions> parse_inject_fault(
+    const std::string& spec) {
+  if (spec.empty()) return std::nullopt;
+  return parse_fault_spec(spec);
+}
+
+/// Strip `--inject-fault <spec>` from argv and parse it.
+inline std::optional<FaultInjectionOptions> inject_fault_from_args(
+    int& argc, char** argv) {
+  return parse_inject_fault(flag_from_args(argc, argv, "--inject-fault"));
 }
 
 }  // namespace mpgeo::bench

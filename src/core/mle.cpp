@@ -42,6 +42,7 @@ double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
   // replica-level parallelism in run_monte_carlo).
   TileMatrix* sigma_ptr = nullptr;
   std::optional<TileMatrix> transient;
+  CovGenOptions gen;  // shared with the escalation regenerate callback
   if (options.covgen_fast) {
     if (!workspace.geometry || workspace.geometry->n() != n ||
         workspace.geometry->nb() != options.tile) {
@@ -52,7 +53,6 @@ double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
         workspace.sigma->nb() != options.tile) {
       workspace.sigma = std::make_unique<TileMatrix>(n, options.tile);
     }
-    CovGenOptions gen;
     gen.parallel = options.num_threads != 1;
     gen.num_threads = options.num_threads;
     gen.geometry = workspace.geometry.get();
@@ -73,7 +73,25 @@ double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
   chol.num_threads = options.num_threads;
   chol.fp16_32_rule_eps = options.fp16_32_rule_eps;
   chol.metrics = options.metrics;
-  const MpCholeskyResult res = mp_cholesky(sigma, chol);
+  chol.escalation = options.escalation;
+  chol.fault_injector = options.fault_injector;
+  // Escalation retries restore Sigma by refilling it from the covariance —
+  // the generator is the cheapest pristine source (no snapshot copy), and on
+  // the fast path the refill reuses the cached tile distances.
+  chol.regenerate = [&cov, &locs, theta, &options, &gen](TileMatrix& s) {
+    fill_tiled_covariance(s, cov, locs, theta, options.nugget, gen);
+  };
+  MpCholeskyResult res;
+  try {
+    res = mp_cholesky(sigma, chol);
+  } catch (...) {
+    // A mid-factorization throw (injected fault, kernel invariant) leaves
+    // tiles re-stored per the precision map; the workspace outlives this
+    // evaluation, so restore FP64 storage before propagating or the caller
+    // inherits a degraded Sigma buffer.
+    sigma.reset_storage(Storage::FP64);
+    throw;
+  }
   if (res.info != 0) return kFailedLogLik;
 
   double logdet = 0.0;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/comm_map.hpp"
+#include "core/mp_cholesky.hpp"
 #include "core/tile_geometry.hpp"
 #include "core/tile_matrix.hpp"
 #include "optim/optimizer.hpp"
@@ -20,6 +21,7 @@
 namespace mpgeo {
 
 class MetricsRegistry;
+class FaultInjector;
 
 struct MleOptions {
   /// Required accuracy u_req driving the precision maps. Use `exact` for the
@@ -45,6 +47,15 @@ struct MleOptions {
   bool covgen_fast = true;
   /// covgen.*, executor and mp_cholesky counters (null = off).
   MetricsRegistry* metrics = nullptr;
+  /// Breakdown recovery (DESIGN.md 5e), on by default for the MLE: a POTRF
+  /// breakdown promotes the offending band and re-factors up to two times
+  /// (regenerating Sigma from the covariance, not snapshotting) before the
+  /// evaluation falls back to the -1e100 sentinel as before. The optimizer
+  /// then keeps exploring instead of walking a cliff wherever rounding
+  /// breaks SPD-ness.
+  EscalationOptions escalation{/*max_attempts=*/2, /*promote_ladder=*/false};
+  /// Deterministic fault injection for tests/benches (null = off).
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Reusable per-fit state for mp_log_likelihood: the distance cache and the

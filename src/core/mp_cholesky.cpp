@@ -1,7 +1,9 @@
 #include "core/mp_cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "common/error.hpp"
 #include "linalg/blas.hpp"
@@ -10,14 +12,17 @@
 #include "linalg/tile_kernels.hpp"
 #include "obs/metrics.hpp"
 #include "precision/convert.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/task_graph.hpp"
 
 namespace mpgeo {
 namespace {
 
-/// Exception carrying a POTRF breakdown out of the task graph.
+/// Exception carrying a POTRF breakdown out of the task graph: the LAPACK
+/// info plus the diagonal tile index, which escalation promotes around.
 struct NotPositiveDefinite {
   int info;
+  int tile;
 };
 
 MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
@@ -85,9 +90,19 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
       ti.prec = Precision::FP64;
       ti.tm = ti.tn = int(k);
       AnyTile* ckk = &a.tile(k, k);
-      graph.add_task(ti, {{did(k, k), AccessMode::ReadWrite}}, [ckk] {
+      // Conversion-fault hook: corrupt the diagonal before factoring (the
+      // id of the task being inserted is the current task count).
+      FaultInjector* inj = options.fault_injector;
+      const TaskId tid = TaskId(graph.num_tasks());
+      graph.add_task(ti, {{did(k, k), AccessMode::ReadWrite}},
+                     [ckk, inj, tid, k] {
+        if (inj) {
+          if (const auto bad = inj->corruption(tid, KernelKind::POTRF)) {
+            ckk->set(0, 0, *bad);
+          }
+        }
         const int info = potrf_tile(*ckk);
-        if (info != 0) throw NotPositiveDefinite{info};
+        if (info != 0) throw NotPositiveDefinite{info, int(k)};
       });
     }
     for (std::size_t m = k + 1; m < nt; ++m) {
@@ -103,10 +118,13 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
       const bool stc = options.apply_wire_rounding && cmap.uses_stc(m, k, pmap);
       const Storage wire = wire_storage(cmap.comm(m, k));
       const std::uint64_t vkk = graph.data_version(did(k, k));
+      FaultInjector* inj = options.fault_injector;
+      const TaskId tid = TaskId(graph.num_tasks());
       graph.add_task(
           ti,
           {{did(k, k), AccessMode::Read}, {did(m, k), AccessMode::ReadWrite}},
-          [ckk, cmk, trsm_prec, stc, wire, vkk, cache_ptr, stc_roundings] {
+          [ckk, cmk, trsm_prec, stc, wire, vkk, cache_ptr, stc_roundings, inj,
+           tid] {
             trsm_tile(trsm_prec, TileOperand{ckk, vkk}, *cmk, cache_ptr);
             if (stc) {
               stc_roundings.add();
@@ -115,6 +133,14 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
               // rounding happens in the tile's own storage format — no
               // double round trip — with identical resulting bits.
               cmk->round_through_wire(wire);
+            }
+            // Conversion-fault hook: a panel entry leaves this task NaN or
+            // FP16-overflowed, so the dependent SYRK drives the diagonal
+            // non-SPD and POTRF reports a genuine breakdown downstream.
+            if (inj) {
+              if (const auto bad = inj->corruption(tid, KernelKind::TRSM)) {
+                cmk->set(0, 0, *bad);
+              }
             }
           });
     }
@@ -173,6 +199,8 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
   exec_opts.use_priorities = options.use_priorities;
   exec_opts.capture_trace = options.capture_trace;
   exec_opts.metrics = options.metrics;
+  exec_opts.rethrow_errors = false;
+  exec_opts.fault_injector = options.fault_injector;
   if (cache_ptr) {
     // Drop packs of any datum a retiring task wrote, before successors can
     // run. In Cholesky proper every tile is write-finalized before its first
@@ -187,10 +215,18 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
       }
     };
   }
-  try {
-    result.exec = execute(graph, exec_opts);
-  } catch (const NotPositiveDefinite& e) {
-    result.info = e.info;
+  result.exec = execute(graph, exec_opts);
+  if (!result.exec.report.ok()) {
+    // Classify the failure: POTRF breakdowns are the retryable kind the
+    // escalation loop handles; anything else (injected task exceptions,
+    // kernel invariant violations) propagates to the caller, keeping the
+    // legacy throwing contract for non-numeric faults.
+    try {
+      std::rethrow_exception(result.exec.report.first_error);
+    } catch (const NotPositiveDefinite& e) {
+      result.info = e.info;
+      result.breakdown_tile = e.tile;
+    }
   }
   if (cache_ptr) {
     result.operand_cache = cache_ptr->stats();
@@ -200,13 +236,62 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
   return result;
 }
 
+/// Bounded breakdown-recovery loop around run_cholesky: escalate the
+/// precision map, restore the pristine values, re-factor.
+MpCholeskyResult cholesky_with_escalation(TileMatrix& a,
+                                          const MpCholeskyOptions& options,
+                                          PrecisionMap pmap) {
+  MetricsRegistry::Counter breakdowns_c;
+  MetricsRegistry::Counter escalations_c;
+  if (options.metrics) {
+    breakdowns_c = options.metrics->counter("cholesky.breakdowns");
+    escalations_c = options.metrics->counter("cholesky.escalations");
+  }
+  const int max_attempts = std::max(options.escalation.max_attempts, 0);
+  // Retries need the pristine FP64 values back: prefer the caller's
+  // regenerate callback (e.g. refill from the covariance generator); fall
+  // back to one up-front snapshot, paid only when retrying is possible.
+  std::optional<TileMatrix> snapshot;
+  if (max_attempts > 0 && !options.regenerate) snapshot.emplace(a);
+
+  MpCholeskyResult result;
+  std::vector<RunReport> attempt_failures;
+  int breakdowns = 0;
+  int escalations = 0;
+  for (int attempt = 0;; ++attempt) {
+    result = run_cholesky(a, options, PrecisionMap(pmap));
+    if (result.info == 0) break;
+    ++breakdowns;
+    breakdowns_c.add();
+    attempt_failures.push_back(result.exec.report);
+    if (attempt >= max_attempts) break;
+    const std::size_t kbad = std::min(
+        std::size_t(std::max(result.breakdown_tile, 0)), pmap.nt() - 1);
+    escalate_band(pmap, kbad, options.ladder);
+    if (options.escalation.promote_ladder) {
+      escalate_all(pmap, options.ladder);
+    }
+    ++escalations;
+    escalations_c.add();
+    if (options.regenerate) {
+      options.regenerate(a);
+    } else {
+      a = *snapshot;
+    }
+  }
+  result.breakdowns = breakdowns;
+  result.escalations = escalations;
+  result.attempt_failures = std::move(attempt_failures);
+  return result;
+}
+
 }  // namespace
 
 MpCholeskyResult mp_cholesky(TileMatrix& a, const MpCholeskyOptions& options) {
   MPGEO_REQUIRE(!options.ladder.empty(), "mp_cholesky: empty precision ladder");
   PrecisionMap pmap = build_precision_map(a, options.u_req, options.ladder,
                                           options.fp16_32_rule_eps);
-  return run_cholesky(a, options, std::move(pmap));
+  return cholesky_with_escalation(a, options, std::move(pmap));
 }
 
 MpCholeskyResult fp64_cholesky(TileMatrix& a, std::size_t num_threads) {
@@ -214,7 +299,7 @@ MpCholeskyResult fp64_cholesky(TileMatrix& a, std::size_t num_threads) {
   options.ladder = {Precision::FP64};
   options.num_threads = num_threads;
   PrecisionMap pmap(a.num_tiles(), Precision::FP64);
-  return run_cholesky(a, options, std::move(pmap));
+  return cholesky_with_escalation(a, options, std::move(pmap));
 }
 
 double logdet_tiled(const TileMatrix& l) {

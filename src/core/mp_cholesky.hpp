@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -31,6 +32,23 @@
 #include "runtime/executor.hpp"
 
 namespace mpgeo {
+
+class FaultInjector;
+
+/// Bounded precision-escalation retry for POTRF breakdowns (DESIGN.md 5e):
+/// when a diagonal tile loses positive definiteness under demotion, promote
+/// the offending row/column band in the precision map one rung toward FP64,
+/// restore the pristine values, and re-factor.
+struct EscalationOptions {
+  /// Retry attempts after a breakdown. 0 (default here; fit_mle enables it)
+  /// reports the failure as before, leaving `a` partially factored.
+  int max_attempts = 0;
+  /// Additionally promote *every* tile one rung per retry. Guarantees the
+  /// map reaches all-FP64 within ladder-length retries even when the
+  /// breakdown wanders between diagonal tiles; band-only (false) is the
+  /// cheaper targeted policy.
+  bool promote_ladder = false;
+};
 
 struct MpCholeskyOptions {
   /// Application-required accuracy u_req (paper: 1e-4 for 2D-sqexp, 1e-9
@@ -64,16 +82,39 @@ struct MpCholeskyOptions {
   /// Report counters into this registry (null = off): the executor's
   /// scheduler counters, operand_cache.*, and cholesky.stc_wire_roundings
   /// (panels actually rounded through their wire format — the count of STC
-  /// conversions the real numeric path performed).
+  /// conversions the real numeric path performed), plus cholesky.breakdowns
+  /// and cholesky.escalations when escalation is enabled.
   MetricsRegistry* metrics = nullptr;
+  /// Breakdown recovery policy (off by default at this level).
+  EscalationOptions escalation;
+  /// Restores the pristine FP64 values of `a` before an escalation retry
+  /// (e.g. refill the covariance from its generator — cheaper than holding
+  /// a copy). Null = mp_cholesky snapshots `a` before the first attempt
+  /// whenever retries are possible, doubling resident matrix memory.
+  std::function<void(TileMatrix&)> regenerate;
+  /// Deterministic fault injection (runtime/fault_injection.hpp), forwarded
+  /// to the executor for TaskException faults and consulted by the POTRF /
+  /// TRSM bodies for conversion NaN/overflow corruption. Null = off.
+  FaultInjector* fault_injector = nullptr;
 };
 
 struct MpCholeskyResult {
   PrecisionMap pmap;
   CommMap cmap;
   /// 0 on success; LAPACK-style positive value when a diagonal tile lost
-  /// positive definiteness (possible under very coarse u_req).
+  /// positive definiteness (possible under very coarse u_req) and the
+  /// escalation budget — if any — was exhausted.
   int info = 0;
+  /// Diagonal tile index k of the last POTRF breakdown (-1 = none).
+  int breakdown_tile = -1;
+  /// Attempts that ended in a breakdown / escalation retries performed.
+  /// info == 0 with breakdowns > 0 means escalation recovered the run.
+  int breakdowns = 0;
+  int escalations = 0;
+  /// Structured failure outcome of each broken attempt, in attempt order
+  /// (task ids refer to that attempt's graph; graph construction is
+  /// deterministic, so ids are stable across attempts).
+  std::vector<RunReport> attempt_failures;
   ExecutionReport exec;
   std::size_t stored_bytes = 0;  ///< matrix footprint after storage mapping
   /// Operand-cache counters for this factorization (all-zero when disabled).

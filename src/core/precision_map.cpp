@@ -85,6 +85,58 @@ PrecisionMap build_precision_map_from_norms(std::size_t nt,
   return map;
 }
 
+Precision promote_one(Precision p, std::span<const Precision> ladder) {
+  MPGEO_REQUIRE(!ladder.empty(), "promote_one: empty precision ladder");
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    if (ladder[i] == p) return i == 0 ? p : ladder[i - 1];
+  }
+  return ladder.front();
+}
+
+bool escalate_tile(PrecisionMap& map, std::size_t m, std::size_t k,
+                   std::span<const Precision> ladder) {
+  const Precision cur = map.kernel(m, k);
+  const Precision next = promote_one(cur, ladder);
+  if (next == cur) return false;
+  map.set_kernel(m, k, next);
+  return true;
+}
+
+std::size_t escalate_band(PrecisionMap& map, std::size_t k,
+                          std::span<const Precision> ladder) {
+  MPGEO_REQUIRE(k < map.nt(), "escalate_band: tile index out of range");
+  std::size_t changed = 0;
+  for (std::size_t j = 0; j <= k; ++j) {
+    changed += escalate_tile(map, k, j, ladder) ? 1 : 0;
+  }
+  for (std::size_t i = k + 1; i < map.nt(); ++i) {
+    changed += escalate_tile(map, i, k, ladder) ? 1 : 0;
+  }
+  return changed;
+}
+
+std::size_t escalate_all(PrecisionMap& map, std::span<const Precision> ladder) {
+  std::size_t changed = 0;
+  for (std::size_t m = 0; m < map.nt(); ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      changed += escalate_tile(map, m, k, ladder) ? 1 : 0;
+    }
+  }
+  return changed;
+}
+
+bool precision_at_least(const PrecisionMap& a, const PrecisionMap& b) {
+  if (a.nt() != b.nt()) return false;
+  for (std::size_t m = 0; m < a.nt(); ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      if (unit_roundoff(a.kernel(m, k)) > unit_roundoff(b.kernel(m, k))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 PrecisionMap build_precision_map(const TileMatrix& a, double u_req,
                                  std::span<const Precision> ladder,
                                  double fp16_32_eps) {

@@ -80,4 +80,34 @@ PrecisionMap build_precision_map_from_norms(std::size_t nt,
                                             std::span<const Precision> ladder,
                                             double fp16_32_eps = 0.0);
 
+// --- Precision escalation (breakdown recovery, DESIGN.md 5e) ---
+//
+// When POTRF(k) loses positive definiteness under aggressive demotion, the
+// recovery path promotes the map toward FP64 and re-factors. These helpers
+// only ever move tiles up the ladder, so repeated escalation is monotone
+// and terminates at the all-FP64 map.
+
+/// One rung finer than `p` along `ladder` (ordered finest first). Returns
+/// `p` unchanged when already the finest rung; a precision absent from the
+/// ladder promotes directly to the finest rung.
+Precision promote_one(Precision p, std::span<const Precision> ladder);
+
+/// Promote tile (m, k) one rung. Returns true when the map changed.
+bool escalate_tile(PrecisionMap& map, std::size_t m, std::size_t k,
+                   std::span<const Precision> ladder);
+
+/// Promote the row/column band through diagonal tile (k, k): the diagonal
+/// itself (the POTRF/SYRK chain that broke), tiles (k, j) for j < k — the
+/// SYRK operands that fed it — and (i, k) for i > k, the panel the
+/// factorization was about to solve against it. Returns tiles changed.
+std::size_t escalate_band(PrecisionMap& map, std::size_t k,
+                          std::span<const Precision> ladder);
+
+/// Promote every lower-triangle tile one rung. Returns tiles changed.
+std::size_t escalate_all(PrecisionMap& map, std::span<const Precision> ladder);
+
+/// True when every tile of `a` is at least as accurate as in `b` (unit
+/// roundoff <=) — the monotonicity invariant escalation maintains.
+bool precision_at_least(const PrecisionMap& a, const PrecisionMap& b);
+
 }  // namespace mpgeo

@@ -41,6 +41,14 @@ void TileMatrix::set_storage(std::size_t m, std::size_t k, Storage s) {
   tiles_[index(m, k)] = AnyTile(tile_rows(m), tile_rows(k), s);
 }
 
+void TileMatrix::reset_storage(Storage s) {
+  for (std::size_t m = 0; m < nt_; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      if (tile(m, k).storage() != s) set_storage(m, k, s);
+    }
+  }
+}
+
 std::size_t TileMatrix::bytes() const {
   std::size_t total = 0;
   for (const AnyTile& t : tiles_) total += t.bytes();

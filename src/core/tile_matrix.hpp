@@ -33,6 +33,11 @@ class TileMatrix {
   /// Re-allocate tile (m, k) with the given storage (contents reset to 0).
   void set_storage(std::size_t m, std::size_t k, Storage s);
 
+  /// Re-allocate every tile whose storage differs from `s` (contents of the
+  /// reset tiles are zeroed — callers refill before use). Used to repair a
+  /// matrix left in mixed-precision storage by an aborted factorization.
+  void reset_storage(Storage s);
+
   /// Total bytes at rest across all stored tiles (the paper's storage-cost
   /// reduction claim is measured here).
   std::size_t bytes() const;

@@ -167,8 +167,13 @@ void write_chrome_trace(const ExecutionReport& report, const TaskGraph& graph,
 
   for (const TaskTraceEntry& e : report.trace) {
     const TaskInfo& info = graph.task(e.task).info;
-    em.complete(task_display_name(info), to_string(info.kind), 0,
-                int(e.worker), e.start_seconds, e.end_seconds);
+    // Failed/cancelled spans get a marker category so Perfetto colors them
+    // apart from the kernel kinds; clean runs are byte-identical to PR 3.
+    std::string cat = to_string(info.kind);
+    if (e.status == TaskStatus::Failed) cat = "FAILED";
+    if (e.status == TaskStatus::Cancelled) cat = "CANCELLED";
+    em.complete(task_display_name(info), cat, 0, int(e.worker),
+                e.start_seconds, e.end_seconds);
   }
 
   if (options.flow_events) emit_flows(em, graph, spans);

@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/fault_injection.hpp"
 
 namespace mpgeo {
 namespace {
@@ -24,17 +25,43 @@ struct ExecutorMetrics {
   explicit ExecutorMetrics(MetricsRegistry* reg) {
     if (!reg) return;
     tasks_retired = reg->counter("executor.tasks_retired");
+    tasks_failed = reg->counter("executor.tasks_failed");
+    tasks_cancelled = reg->counter("executor.tasks_cancelled");
     steals = reg->counter("executor.steals");
     parks = reg->counter("executor.parks");
     wakeups = reg->counter("executor.wakeups");
     max_queue_depth = reg->gauge("executor.max_queue_depth");
   }
   MetricsRegistry::Counter tasks_retired;
+  MetricsRegistry::Counter tasks_failed;
+  MetricsRegistry::Counter tasks_cancelled;
   MetricsRegistry::Counter steals;
   MetricsRegistry::Counter parks;
   MetricsRegistry::Counter wakeups;
   MetricsRegistry::Gauge max_queue_depth;
 };
+
+/// Fill the structured outcome from per-task terminal states, then apply
+/// the legacy rethrow contract. Shared by both schedulers; `status_of(t)`
+/// reads task t's terminal state (the pool has quiesced, so plain reads).
+template <class StatusOf>
+void finalize_report(ExecutionReport& report, std::size_t num_tasks,
+                     StatusOf&& status_of, std::exception_ptr first_error,
+                     const ExecutorOptions& options) {
+  std::size_t completed = 0;
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    switch (status_of(t)) {
+      case TaskStatus::Completed: ++completed; break;
+      case TaskStatus::Failed: report.report.failed.push_back(t); break;
+      case TaskStatus::Cancelled: report.report.cancelled.push_back(t); break;
+    }
+  }
+  report.tasks_run = completed;
+  report.report.first_error = first_error;
+  if (options.rethrow_errors && first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Priority model, shared by both schedulers.
@@ -89,7 +116,9 @@ class SeedRun {
       : graph_(graph),
         options_(options),
         metrics_(options.metrics),
-        remaining_(graph.num_tasks()) {
+        remaining_(graph.num_tasks()),
+        status_(graph.num_tasks(), TaskStatus::Completed),
+        poisoned_(graph.num_tasks(), 0) {
     indegree_.reserve(graph.num_tasks());
     for (TaskId t = 0; t < graph.num_tasks(); ++t) {
       indegree_.emplace_back(graph.task(t).num_predecessors);
@@ -111,12 +140,12 @@ class SeedRun {
     }
     for (auto& t : workers) t.join();
 
-    if (first_error_) std::rethrow_exception(first_error_);
-
     ExecutionReport report;
-    report.tasks_run = graph_.num_tasks();
     report.wall_seconds = clock.seconds();
     report.trace = std::move(trace_);
+    finalize_report(
+        report, graph_.num_tasks(), [this](TaskId t) { return status_[t]; },
+        first_error_, options_);
     return report;
   }
 
@@ -124,12 +153,11 @@ class SeedRun {
   void worker_loop(std::size_t worker, const Stopwatch& clock) {
     for (;;) {
       TaskId id;
+      bool poisoned;
       {
         std::unique_lock lk(mu_);
-        cv_.wait(lk, [this] {
-          return !ready_.empty() || remaining_ == 0 || first_error_;
-        });
-        if (ready_.empty()) return;  // done or erroring out
+        cv_.wait(lk, [this] { return !ready_.empty() || remaining_ == 0; });
+        if (ready_.empty()) return;  // quiesced
         if (options_.use_priorities) {
           auto best = ready_.begin();
           for (auto it = ready_.begin(); it != ready_.end(); ++it) {
@@ -144,33 +172,47 @@ class SeedRun {
           id = ready_.back();
           ready_.pop_back();
         }
+        poisoned = poisoned_[id] != 0;
       }
 
       const Task& task = graph_.task(id);
       const double t0 = clock.seconds();
-      if (!has_error_.load(std::memory_order_acquire)) {
+      TaskStatus st = TaskStatus::Completed;
+      std::exception_ptr err;
+      if (poisoned) {
+        st = TaskStatus::Cancelled;  // a predecessor failed: body never runs
+      } else {
         try {
+          if (options_.fault_injector) {
+            options_.fault_injector->on_task_start(id, task.info.kind);
+          }
           if (task.body) task.body();
           // Retire hook runs before successors are released below.
           if (options_.retire_hook) options_.retire_hook(task);
         } catch (...) {
-          std::unique_lock lk(mu_);
-          if (!first_error_) {
-            first_error_ = std::current_exception();
-            has_error_.store(true, std::memory_order_release);
-          }
+          st = TaskStatus::Failed;
+          err = std::current_exception();
         }
       }
       const double t1 = clock.seconds();
       metrics_.tasks_retired.add_sharded(1, worker);
+      if (st == TaskStatus::Failed) metrics_.tasks_failed.add_sharded(1, worker);
+      if (st == TaskStatus::Cancelled) {
+        metrics_.tasks_cancelled.add_sharded(1, worker);
+      }
 
       {
         std::unique_lock lk(mu_);
+        status_[id] = st;
+        if (st == TaskStatus::Failed && !first_error_) first_error_ = err;
         if (options_.capture_trace) {
-          trace_.push_back(TaskTraceEntry{id, worker, t0, t1});
+          trace_.push_back(TaskTraceEntry{id, worker, t0, t1, st});
         }
         std::size_t newly_ready = 0;
         for (TaskId succ : task.successors) {
+          // Failure and cancellation both poison dependents; they still
+          // retire through the normal path so the graph drains.
+          if (st != TaskStatus::Completed) poisoned_[succ] = 1;
           MPGEO_ASSERT(indegree_[succ] > 0);
           if (--indegree_[succ] == 0) {
             ready_.push_back(succ);
@@ -179,7 +221,7 @@ class SeedRun {
         }
         MPGEO_ASSERT(remaining_ > 0);
         --remaining_;
-        if (remaining_ == 0 || first_error_) {
+        if (remaining_ == 0) {
           cv_.notify_all();  // quiesce: every waiter must observe termination
         } else {
           // One waiter per newly-ready task; waking the whole pool on every
@@ -199,7 +241,8 @@ class SeedRun {
   std::mutex mu_;
   std::condition_variable cv_;
   std::exception_ptr first_error_;
-  std::atomic<bool> has_error_{false};
+  std::vector<TaskStatus> status_;    ///< terminal states, guarded by mu_
+  std::vector<char> poisoned_;        ///< cancellation flags, guarded by mu_
   std::vector<TaskTraceEntry> trace_;
 };
 
@@ -238,10 +281,17 @@ class WorkStealingRun {
         metrics_(options.metrics),
         remaining_(graph.num_tasks()),
         indegree_(std::make_unique<std::atomic<std::uint32_t>[]>(
+            graph.num_tasks())),
+        status_(std::make_unique<std::atomic<std::uint8_t>[]>(
+            graph.num_tasks())),
+        poisoned_(std::make_unique<std::atomic<std::uint8_t>[]>(
             graph.num_tasks())) {
     for (TaskId t = 0; t < graph.num_tasks(); ++t) {
       indegree_[t].store(graph.task(t).num_predecessors,
                          std::memory_order_relaxed);
+      status_[t].store(std::uint8_t(TaskStatus::Completed),
+                       std::memory_order_relaxed);
+      poisoned_[t].store(0, std::memory_order_relaxed);
     }
   }
 
@@ -264,10 +314,7 @@ class WorkStealingRun {
     }
     for (auto& t : threads) t.join();
 
-    if (first_error_) std::rethrow_exception(first_error_);
-
     ExecutionReport report;
-    report.tasks_run = graph_.num_tasks();
     report.wall_seconds = clock.seconds();
     if (options_.capture_trace) {
       std::size_t total = 0;
@@ -278,6 +325,12 @@ class WorkStealingRun {
                             ws.trace.end());
       }
     }
+    finalize_report(
+        report, graph_.num_tasks(),
+        [this](TaskId t) {
+          return TaskStatus(status_[t].load(std::memory_order_relaxed));
+        },
+        first_error_, options_);
     return report;
   }
 
@@ -405,28 +458,44 @@ class WorkStealingRun {
     WorkerState& ws = workers_[self];
     const Task& task = graph_.task(id);
     const double t0 = clock.seconds();
-    if (!has_error_.load(std::memory_order_acquire)) {
+    TaskStatus st = TaskStatus::Completed;
+    // The poison flag was stored before the predecessor's releasing
+    // indegree decrement, so the claimer that observed zero sees it.
+    if (poisoned_[id].load(std::memory_order_relaxed) != 0) {
+      st = TaskStatus::Cancelled;  // a predecessor failed: body never runs
+    } else {
       try {
+        if (options_.fault_injector) {
+          options_.fault_injector->on_task_start(id, task.info.kind);
+        }
         if (task.body) task.body();
         // Retire hook runs before the indegree decrements release successors.
         if (options_.retire_hook) options_.retire_hook(task);
       } catch (...) {
+        st = TaskStatus::Failed;
         std::lock_guard lk(err_mu_);
-        if (!first_error_) {
-          first_error_ = std::current_exception();
-          has_error_.store(true, std::memory_order_release);
-        }
+        if (!first_error_) first_error_ = std::current_exception();
       }
     }
     if (options_.capture_trace) {
-      ws.trace.push_back(TaskTraceEntry{id, self, t0, clock.seconds()});
+      ws.trace.push_back(TaskTraceEntry{id, self, t0, clock.seconds(), st});
     }
+    status_[id].store(std::uint8_t(st), std::memory_order_relaxed);
     metrics_.tasks_retired.add_sharded(1, self);
+    if (st == TaskStatus::Failed) metrics_.tasks_failed.add_sharded(1, self);
+    if (st == TaskStatus::Cancelled) {
+      metrics_.tasks_cancelled.add_sharded(1, self);
+    }
 
     // Retire: lock-free indegree decrement; the decrement that reaches zero
-    // transfers ownership of the successor to this worker.
+    // transfers ownership of the successor to this worker. Poison flags are
+    // stored before the release-ordered decrement, so whichever worker
+    // claims the successor observes them (release-sequence on indegree_).
     std::size_t freed = 0;
     for (TaskId succ : task.successors) {
+      if (st != TaskStatus::Completed) {
+        poisoned_[succ].store(1, std::memory_order_relaxed);
+      }
       if (indegree_[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
         push_local(ws, succ);
         ++freed;
@@ -458,7 +527,12 @@ class WorkStealingRun {
   std::atomic<std::size_t> num_sleepers_{0};
   std::mutex err_mu_;
   std::exception_ptr first_error_;
-  std::atomic<bool> has_error_{false};
+  /// Terminal TaskStatus per task; each slot is written exactly once (by
+  /// the retiring worker) and read after the pool joins.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> status_;
+  /// Cancellation flags; set by failed/cancelled predecessors before their
+  /// releasing indegree decrement, read by the successor's claimer.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> poisoned_;
 };
 
 }  // namespace

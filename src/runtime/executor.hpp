@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
 #include <vector>
 
@@ -16,19 +18,42 @@
 namespace mpgeo {
 
 class MetricsRegistry;
+class FaultInjector;
+
+/// Terminal state of one task after an execution quiesced.
+enum class TaskStatus : std::uint8_t {
+  Completed,  ///< body ran to completion
+  Failed,     ///< body (or an injected fault) threw
+  Cancelled,  ///< a transitive predecessor failed; body never ran
+};
 
 /// Per-task execution record for post-mortem analysis / Gantt rendering.
+/// Cancelled tasks appear as zero-length spans on their retiring worker.
 struct TaskTraceEntry {
   TaskId task = 0;
   std::size_t worker = 0;
   double start_seconds = 0.0;
   double end_seconds = 0.0;
+  TaskStatus status = TaskStatus::Completed;
+};
+
+/// Structured failure outcome of one execution. A failed task poisons its
+/// transitive dependents — they retire as CANCELLED without running —
+/// while independent subgraphs drain normally. The failed/cancelled sets
+/// are a pure function of the graph and the failing tasks, so they are
+/// identical under both schedulers and across repeated runs.
+struct RunReport {
+  std::vector<TaskId> failed;     ///< tasks whose body threw, ascending id
+  std::vector<TaskId> cancelled;  ///< poisoned tasks, ascending id
+  std::exception_ptr first_error; ///< null iff failed is empty
+  bool ok() const { return failed.empty(); }
 };
 
 struct ExecutionReport {
-  std::size_t tasks_run = 0;
+  std::size_t tasks_run = 0;  ///< bodies that ran to completion
   double wall_seconds = 0.0;
   std::vector<TaskTraceEntry> trace;  // populated when tracing enabled
+  RunReport report;  ///< failure outcome (empty sets on a clean run)
 };
 
 struct ExecutorOptions {
@@ -57,12 +82,22 @@ struct ExecutorOptions {
   /// entries of data the task wrote, before any successor can read the datum
   /// again. Must be thread-safe; exceptions propagate like body exceptions.
   std::function<void(const Task&)> retire_hook;
+  /// Legacy contract (true): rethrow the first body exception after the pool
+  /// quiesces. With false the caller gets the structured outcome instead:
+  /// ExecutionReport::report carries the failed/cancelled sets and the first
+  /// exception, and execute() itself never throws for body failures.
+  bool rethrow_errors = true;
+  /// Deterministic fault injection (runtime/fault_injection.hpp): consulted
+  /// before each task body. Null = off; costs one branch per task.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Run every task body in dependency order, in parallel. Graph tasks with a
 /// null body are retired without doing work (they still gate successors).
-/// Exceptions thrown by task bodies propagate to the caller after the pool
-/// quiesces (first exception wins).
+/// A task whose body throws retires as FAILED and poisons its transitive
+/// dependents (retired as CANCELLED, bodies never run) while everything
+/// else drains; with rethrow_errors the first exception then propagates to
+/// the caller, otherwise it is surfaced in ExecutionReport::report.
 ExecutionReport execute(const TaskGraph& graph, const ExecutorOptions& options = {});
 
 }  // namespace mpgeo

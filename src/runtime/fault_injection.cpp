@@ -1,0 +1,112 @@
+#include "runtime/fault_injection.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace mpgeo {
+namespace {
+
+/// splitmix64 finalizer: a high-quality 64 -> 64 bit mix, used to turn
+/// (seed, task id) into an arming decision without any shared state.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform in [0, 1) from (seed, task), identical on every platform.
+double arm_uniform(std::uint64_t seed, TaskId task) {
+  const std::uint64_t h = mix64(mix64(seed) ^ (std::uint64_t(task) + 1));
+  return double(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::None: return "none";
+    case FaultKind::TaskException: return "exception";
+    case FaultKind::ConvertNaN: return "nan";
+    case FaultKind::ConvertOverflow: return "overflow";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(const FaultInjectionOptions& options)
+    : opts_(options) {
+  MPGEO_REQUIRE(opts_.probability >= 0.0 && opts_.probability <= 1.0,
+                "FaultInjector: probability outside [0, 1]");
+}
+
+bool FaultInjector::armed(TaskId task, KernelKind kind) const {
+  if (opts_.kind == FaultKind::None) return false;
+  if (opts_.target_task != kNoTask) return task == opts_.target_task;
+  if (opts_.kind_filter && *opts_.kind_filter != kind) return false;
+  if (opts_.probability <= 0.0) return false;
+  return arm_uniform(opts_.seed, task) < opts_.probability;
+}
+
+bool FaultInjector::consume_budget() {
+  if (opts_.max_injections <= 0) {
+    injections_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  const std::uint64_t prev =
+      injections_.fetch_add(1, std::memory_order_relaxed);
+  if (prev < std::uint64_t(opts_.max_injections)) return true;
+  injections_.fetch_sub(1, std::memory_order_relaxed);
+  return false;
+}
+
+void FaultInjector::on_task_start(TaskId task, KernelKind kind) {
+  if (opts_.kind != FaultKind::TaskException) return;
+  if (!armed(task, kind)) return;
+  if (!consume_budget()) return;
+  throw InjectedFault(task);
+}
+
+std::optional<double> FaultInjector::corruption(TaskId task, KernelKind kind) {
+  if (opts_.kind != FaultKind::ConvertNaN &&
+      opts_.kind != FaultKind::ConvertOverflow) {
+    return std::nullopt;
+  }
+  if (!armed(task, kind)) return std::nullopt;
+  if (!consume_budget()) return std::nullopt;
+  if (opts_.kind == FaultKind::ConvertNaN) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  // Far beyond FP16 max (~65504): a conversion that should have saturated.
+  // Squared in SYRK it also wrecks SPD-ness, so POTRF fails either way.
+  return 1e30;
+}
+
+FaultInjectionOptions parse_fault_spec(const std::string& spec) {
+  const std::size_t c1 = spec.find(':');
+  const std::size_t c2 = c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
+  MPGEO_REQUIRE(c2 != std::string::npos,
+                "--inject-fault: expected kind:prob:seed, got '" + spec + "'");
+  const std::string kind = spec.substr(0, c1);
+  FaultInjectionOptions out;
+  if (kind == "exception") {
+    out.kind = FaultKind::TaskException;
+  } else if (kind == "nan") {
+    out.kind = FaultKind::ConvertNaN;
+  } else if (kind == "overflow") {
+    out.kind = FaultKind::ConvertOverflow;
+  } else {
+    MPGEO_REQUIRE(false, "--inject-fault: unknown kind '" + kind +
+                             "' (want exception|nan|overflow)");
+  }
+  try {
+    out.probability = std::stod(spec.substr(c1 + 1, c2 - c1 - 1));
+    out.seed = std::stoull(spec.substr(c2 + 1));
+  } catch (const std::exception&) {
+    MPGEO_REQUIRE(false, "--inject-fault: bad prob/seed in '" + spec + "'");
+  }
+  MPGEO_REQUIRE(out.probability >= 0.0 && out.probability <= 1.0,
+                "--inject-fault: probability outside [0, 1]");
+  return out;
+}
+
+}  // namespace mpgeo

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -14,6 +16,9 @@
 #include "gpusim/sim_executor.hpp"
 #include "precision/convert.hpp"
 #include "precision/mixed_gemm.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/fault_injection.hpp"
+#include "runtime/task_graph.hpp"
 
 namespace mpgeo {
 namespace {
@@ -199,6 +204,127 @@ TEST_P(RandomRoundTripProperty, MixedGemmMonotoneInPrecision) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomRoundTripProperty, ::testing::Range(0, 6));
+
+/// Random DAG through data-access collisions, for the failure-propagation
+/// properties (same recipe as the fault-injection suite).
+TaskGraph random_dag(std::size_t num_tasks, std::size_t num_data,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  TaskGraph g;
+  std::vector<DataId> data(num_data);
+  for (std::size_t d = 0; d < num_data; ++d) {
+    DataInfo info;
+    info.name = "d" + std::to_string(d);
+    info.bytes = 8;
+    data[d] = g.add_data(info);
+  }
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    std::vector<Access> accesses;
+    std::set<DataId> used;
+    const std::size_t touches = 1 + rng.uniform_index(3);
+    for (std::size_t a = 0; a < touches; ++a) {
+      const DataId d = data[rng.uniform_index(num_data)];
+      if (!used.insert(d).second) continue;
+      const AccessMode mode =
+          rng.uniform() < 0.4 ? AccessMode::ReadWrite : AccessMode::Read;
+      accesses.push_back({d, mode});
+    }
+    TaskInfo info;
+    info.name = "t" + std::to_string(t);
+    g.add_task(info, accesses, [] {});
+  }
+  return g;
+}
+
+std::set<TaskId> successor_closure(const TaskGraph& g, TaskId root) {
+  std::set<TaskId> out;
+  std::vector<TaskId> stack{root};
+  while (!stack.empty()) {
+    const TaskId t = stack.back();
+    stack.pop_back();
+    for (TaskId succ : g.task(t).successors) {
+      if (out.insert(succ).second) stack.push_back(succ);
+    }
+  }
+  return out;
+}
+
+ExecutionReport run_injected(const TaskGraph& g, FaultInjector& inj, bool ws,
+                             std::size_t threads) {
+  ExecutorOptions opts;
+  opts.num_threads = threads;
+  opts.use_work_stealing = ws;
+  opts.rethrow_errors = false;
+  opts.fault_injector = &inj;
+  return execute(g, opts);
+}
+
+class RandomDagFailureProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDagFailureProperty, CancellationIsExactTransitiveClosure) {
+  Rng rng(800 + GetParam());
+  const std::size_t num_tasks = 40 + rng.uniform_index(80);
+  const std::size_t num_data = 6 + rng.uniform_index(16);
+  const TaskGraph g = random_dag(num_tasks, num_data, 810 + GetParam());
+  // Kill a handful of random victims; each must cancel exactly its
+  // transitive successor closure while every independent task still runs.
+  for (int trial = 0; trial < 4; ++trial) {
+    const TaskId victim = TaskId(rng.uniform_index(g.num_tasks()));
+    const std::set<TaskId> closure = successor_closure(g, victim);
+    for (const bool ws : {false, true}) {
+      FaultInjectionOptions o;
+      o.kind = FaultKind::TaskException;
+      o.target_task = victim;
+      FaultInjector inj(o);
+      const ExecutionReport rep = run_injected(g, inj, ws, 4);
+      ASSERT_EQ(rep.report.failed.size(), 1u) << "victim=" << victim;
+      EXPECT_EQ(rep.report.failed[0], victim);
+      const std::set<TaskId> cancelled(rep.report.cancelled.begin(),
+                                       rep.report.cancelled.end());
+      EXPECT_EQ(cancelled, closure) << "victim=" << victim << " ws=" << ws;
+      EXPECT_EQ(rep.tasks_run, g.num_tasks() - 1 - closure.size());
+    }
+  }
+}
+
+TEST_P(RandomDagFailureProperty, RunReportsIdenticalAcrossSchedulers) {
+  Rng rng(900 + GetParam());
+  const std::size_t num_tasks = 60 + rng.uniform_index(120);
+  const std::size_t num_data = 8 + rng.uniform_index(12);
+  const TaskGraph g = random_dag(num_tasks, num_data, 910 + GetParam());
+  FaultInjectionOptions o;
+  o.kind = FaultKind::TaskException;
+  o.probability = 0.1;
+  o.seed = 920 + std::uint64_t(GetParam());
+
+  std::vector<TaskId> ref_failed;
+  std::vector<TaskId> ref_cancelled;
+  bool first = true;
+  for (const bool ws : {false, true}) {
+    for (const std::size_t threads : {std::size_t(1), std::size_t(4)}) {
+      FaultInjector inj(o);
+      const ExecutionReport rep = run_injected(g, inj, ws, threads);
+      // The three outcome sets always partition the graph.
+      EXPECT_EQ(rep.tasks_run + rep.report.failed.size() +
+                    rep.report.cancelled.size(),
+                g.num_tasks());
+      // Failure/cancellation sets are a pure function of (graph, injector):
+      // identical across schedulers and thread counts.
+      if (first) {
+        ref_failed = rep.report.failed;
+        ref_cancelled = rep.report.cancelled;
+        first = false;
+      }
+      EXPECT_EQ(rep.report.failed, ref_failed)
+          << "ws=" << ws << " threads=" << threads;
+      EXPECT_EQ(rep.report.cancelled, ref_cancelled)
+          << "ws=" << ws << " threads=" << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagFailureProperty,
+                         ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace mpgeo
