@@ -199,6 +199,19 @@ void run_observed(const mpgeo::bench::ObsFlags& obs) {
                "%zu tasks, %llu steals\n",
                rep.wall_seconds, cp.length_seconds, cp.path.size(),
                (unsigned long long)registry.counter_value("executor.steals"));
+  // Per-task latency tail, through the same summarizer bench_serving uses
+  // for fit latencies, so "p99" is one definition across the bench suite.
+  std::vector<double> task_us;
+  task_us.reserve(rep.trace.size());
+  for (const TaskTraceEntry& e : rep.trace) {
+    task_us.push_back((e.end_seconds - e.start_seconds) * 1e6);
+  }
+  const mpgeo::bench::LatencySummary lat =
+      mpgeo::bench::summarize_latencies(std::move(task_us));
+  std::fprintf(stderr,
+               "[obs] task latency (us): p50 %.2f, p95 %.2f, p99 %.2f, max "
+               "%.2f over %zu tasks\n",
+               lat.p50, lat.p95, lat.p99, lat.max, lat.count);
   if (!obs.trace_path.empty()) {
     TraceExportOptions topts;
     topts.metrics = &registry;

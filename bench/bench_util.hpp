@@ -3,6 +3,8 @@
 // simulation plumbing.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -149,6 +151,59 @@ inline std::string gib(std::size_t bytes) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.2f", double(bytes) / double(1ull << 30));
   return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Latency statistics: one percentile definition shared by every bench that
+// reports tail latency (bench_serving, bench_scheduler), so "p99" means the
+// same thing in every table and JSON dump.
+
+/// Nearest-rank percentile: the smallest sample such that at least q% of the
+/// samples are <= it (q in (0, 100]; q = 50 is the median). Sorts a copy;
+/// returns NaN on an empty input.
+inline double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return std::nan("");
+  std::sort(samples.begin(), samples.end());
+  const double rank = std::ceil(q / 100.0 * double(samples.size()));
+  const std::size_t i =
+      std::min(samples.size() - 1,
+               std::size_t(std::max(rank, 1.0)) - 1);
+  return samples[i];
+}
+
+/// The tail summary every latency-reporting bench prints: p50/p95/p99 plus
+/// the bracketing min/mean/max.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+inline LatencySummary summarize_latencies(std::vector<double> samples) {
+  LatencySummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / double(samples.size());
+  s.min = samples.front();
+  s.max = samples.back();
+  // Nearest-rank on the already-sorted samples (same definition as
+  // percentile(), without re-sorting three times).
+  const auto at = [&](double q) {
+    const double rank = std::ceil(q / 100.0 * double(samples.size()));
+    return samples[std::min(samples.size() - 1,
+                            std::size_t(std::max(rank, 1.0)) - 1)];
+  };
+  s.p50 = at(50.0);
+  s.p95 = at(95.0);
+  s.p99 = at(99.0);
+  return s;
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,21 @@ double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
   const std::size_t n = locs.size();
   MPGEO_REQUIRE(z.size() == n, "mp_log_likelihood: observation size mismatch");
 
+  // Bind the workspace to this LocationSet on first use and fail fast on a
+  // mismatch afterwards: the cached tile distances (and a server-shared
+  // geometry) are only valid for the exact coordinate sequence they were
+  // built from, and the old "same size, different locations" reuse produced
+  // silently wrong likelihoods.
+  const std::uint64_t fp = location_fingerprint(locs);
+  if (workspace.locs_fingerprint == 0) {
+    workspace.locs_fingerprint = fp;
+  } else {
+    MPGEO_REQUIRE(workspace.locs_fingerprint == fp,
+                  "MleWorkspace: reused with a different LocationSet than the "
+                  "one it is bound to (location fingerprint mismatch); reset "
+                  "locs_fingerprint to rebind");
+  }
+
   if (options.exact) {
     return exact_log_likelihood(cov, locs, theta, z, options.nugget);
   }
@@ -46,8 +61,8 @@ double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
   if (options.covgen_fast) {
     if (!workspace.geometry || workspace.geometry->n() != n ||
         workspace.geometry->nb() != options.tile) {
-      workspace.geometry = std::make_unique<TileGeometry>(locs, options.tile,
-                                                          options.metrics);
+      workspace.geometry = std::make_shared<const TileGeometry>(
+          locs, options.tile, options.metrics);
     }
     if (!workspace.sigma || workspace.sigma->n() != n ||
         workspace.sigma->nb() != options.tile) {
@@ -55,6 +70,7 @@ double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
     }
     gen.parallel = options.num_threads != 1;
     gen.num_threads = options.num_threads;
+    gen.session = options.session;
     gen.geometry = workspace.geometry.get();
     gen.metrics = options.metrics;
     fill_tiled_covariance(*workspace.sigma, cov, locs, theta, options.nugget,
@@ -75,6 +91,7 @@ double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
   chol.metrics = options.metrics;
   chol.escalation = options.escalation;
   chol.fault_injector = options.fault_injector;
+  chol.session = options.session;
   // Escalation retries restore Sigma by refilling it from the covariance —
   // the generator is the cheapest pristine source (no snapshot copy), and on
   // the fast path the refill reuses the cached tile distances.
@@ -110,6 +127,16 @@ double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
 
 MleResult fit_mle(const Covariance& cov, const LocationSet& locs,
                   std::span<const double> z, const MleOptions& options) {
+  // One workspace for the whole fit: the optimizer evaluates the likelihood
+  // hundreds of times against the same locations, so the distance cache and
+  // the Sigma buffer are shared across every evaluation.
+  MleWorkspace workspace;
+  return fit_mle(cov, locs, z, options, workspace);
+}
+
+MleResult fit_mle(const Covariance& cov, const LocationSet& locs,
+                  std::span<const double> z, const MleOptions& options,
+                  MleWorkspace& workspace) {
   const std::size_t p = cov.num_params();
   const std::vector<double> lo(p, options.lower_bound);
   const std::vector<double> hi(p, options.upper_bound);
@@ -118,10 +145,6 @@ MleResult fit_mle(const Covariance& cov, const LocationSet& locs,
   // simplex, so we nudge inward by one tolerance-scale step.
   std::vector<double> start(p, options.lower_bound + 1e-3);
 
-  // One workspace for the whole fit: the optimizer evaluates the likelihood
-  // hundreds of times against the same locations, so the distance cache and
-  // the Sigma buffer are shared across every evaluation.
-  MleWorkspace workspace;
   const Objective objective = [&](std::span<const double> theta) {
     return -mp_log_likelihood(cov, locs, theta, z, options, workspace);
   };

@@ -6,6 +6,7 @@
 // [0.01, 2], optimizer started at the lower bounds, tolerance 1e-9.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -22,6 +23,7 @@ namespace mpgeo {
 
 class MetricsRegistry;
 class FaultInjector;
+class ExecutorSession;
 
 struct MleOptions {
   /// Required accuracy u_req driving the precision maps. Use `exact` for the
@@ -56,15 +58,31 @@ struct MleOptions {
   EscalationOptions escalation{/*max_attempts=*/2, /*promote_ladder=*/false};
   /// Deterministic fault injection for tests/benches (null = off).
   FaultInjector* fault_injector = nullptr;
+  /// Run every internal task graph (covariance generation, factorization)
+  /// on this persistent shared pool instead of spinning per-evaluation
+  /// pools (runtime/executor_session.hpp). num_threads is then ignored.
+  /// This is how the FitServer (src/serve) multiplexes many concurrent
+  /// fits onto one executor; results are bit-identical either way.
+  ExecutorSession* session = nullptr;
 };
 
 /// Reusable per-fit state for mp_log_likelihood: the distance cache and the
 /// Sigma tile buffer, built lazily on first use and shared across all
-/// evaluations of one fit. A workspace is tied to one (LocationSet, tile)
-/// pair — reusing it with different locations of the same size is undefined.
+/// evaluations of one fit. A workspace binds to the first LocationSet it is
+/// used with (recorded as `locs_fingerprint`); reusing it with a different
+/// set — even one of the same size, which formerly yielded silently wrong
+/// likelihoods from stale distances — fails fast with mpgeo::Error. Reset
+/// `locs_fingerprint` to 0 to rebind (the FitServer's workspace pool does
+/// this when re-leasing to a new tenant).
+///
+/// `geometry` is shared, not owned: tenants whose location sets share a
+/// fingerprint can point their workspaces at one theta-invariant
+/// TileGeometry (it is immutable after construction, so concurrent fits
+/// read it safely); mp_log_likelihood fills it lazily when null.
 struct MleWorkspace {
-  std::unique_ptr<TileGeometry> geometry;
+  std::shared_ptr<const TileGeometry> geometry;
   std::unique_ptr<TileMatrix> sigma;
+  std::uint64_t locs_fingerprint = 0;  ///< 0 = not yet bound
 };
 
 struct MleResult {
@@ -92,5 +110,12 @@ double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
 /// Fit theta-hat = argmax l(theta) from observations z.
 MleResult fit_mle(const Covariance& cov, const LocationSet& locs,
                   std::span<const double> z, const MleOptions& options = {});
+
+/// Same fit against a caller-held workspace, so a serving layer can pool
+/// workspaces across fits and pre-share the TileGeometry among tenants with
+/// identical location sets. Bit-identical to the workspace-free overload.
+MleResult fit_mle(const Covariance& cov, const LocationSet& locs,
+                  std::span<const double> z, const MleOptions& options,
+                  MleWorkspace& workspace);
 
 }  // namespace mpgeo

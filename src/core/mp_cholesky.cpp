@@ -201,6 +201,7 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
   exec_opts.metrics = options.metrics;
   exec_opts.rethrow_errors = false;
   exec_opts.fault_injector = options.fault_injector;
+  exec_opts.session = options.session;
   if (cache_ptr) {
     // Drop packs of any datum a retiring task wrote, before successors can
     // run. In Cholesky proper every tile is write-finalized before its first

@@ -96,6 +96,10 @@ struct MpCholeskyOptions {
   /// to the executor for TaskException faults and consulted by the POTRF /
   /// TRSM bodies for conversion NaN/overflow corruption. Null = off.
   FaultInjector* fault_injector = nullptr;
+  /// Execute the factorization graph on this persistent shared pool instead
+  /// of a per-call pool (runtime/executor_session.hpp); num_threads and
+  /// use_work_stealing are then ignored. Null = dedicated pool (default).
+  ExecutorSession* session = nullptr;
 };
 
 struct MpCholeskyResult {

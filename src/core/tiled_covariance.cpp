@@ -88,6 +88,7 @@ void fill_tiled_covariance(TileMatrix& a, const Covariance& cov,
     ExecutorOptions x;
     x.num_threads = options.num_threads;
     x.metrics = options.metrics;
+    x.session = options.session;
     execute(graph, x);
   } else {
     for (std::size_t m = 0; m < nt; ++m) {

@@ -21,6 +21,7 @@
 namespace mpgeo {
 
 class MetricsRegistry;
+class ExecutorSession;
 
 struct CovGenOptions {
   /// Assemble tiles as one GENERATE task per tile on the work-stealing
@@ -28,6 +29,10 @@ struct CovGenOptions {
   /// the serial loop (kept for A/B and determinism tests).
   bool parallel = false;
   std::size_t num_threads = 0;  ///< worker pool size when parallel; 0 = hw
+  /// Run the GENERATE tasks on this persistent shared pool instead of a
+  /// per-fill pool (runtime/executor_session.hpp); num_threads is then
+  /// ignored. Null = dedicated pool (default).
+  ExecutorSession* session = nullptr;
   /// Cached theta-invariant distance blocks for this (LocationSet, nb).
   /// Null = compute distances on the fly (per fill).
   const TileGeometry* geometry = nullptr;

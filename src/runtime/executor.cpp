@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/executor_session.hpp"
 #include "runtime/fault_injection.hpp"
 
 namespace mpgeo {
@@ -539,6 +540,10 @@ class WorkStealingRun {
 
 ExecutionReport execute(const TaskGraph& graph, const ExecutorOptions& options) {
   if (graph.num_tasks() == 0) return {};
+  if (options.session) return options.session->run(graph, options);
+  if (options.use_shared_pool) {
+    return shared_executor_session().run(graph, options);
+  }
   if (options.use_work_stealing) {
     WorkStealingRun run(graph, options);
     return run.run();

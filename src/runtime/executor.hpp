@@ -19,6 +19,7 @@ namespace mpgeo {
 
 class MetricsRegistry;
 class FaultInjector;
+class ExecutorSession;
 
 /// Terminal state of one task after an execution quiesced.
 enum class TaskStatus : std::uint8_t {
@@ -57,7 +58,12 @@ struct ExecutionReport {
 };
 
 struct ExecutorOptions {
-  std::size_t num_threads = 0;  ///< 0 = hardware concurrency
+  /// Worker pool size; 0 = hardware concurrency. Note this resolves *per
+  /// execute() call*: N concurrent callers with the default spin N separate
+  /// pools and oversubscribe the machine to N x cores. Concurrent callers
+  /// should share one pool by setting `session` (or `use_shared_pool`), in
+  /// which case this field is ignored — the session owns its sizing.
+  std::size_t num_threads = 0;
   bool capture_trace = false;
   /// Prefer panel kinds (POTRF/TRSM) over trailing updates when picking the
   /// next ready task. Numerics are identical either way — conflicts are
@@ -90,6 +96,19 @@ struct ExecutorOptions {
   /// Deterministic fault injection (runtime/fault_injection.hpp): consulted
   /// before each task body. Null = off; costs one branch per task.
   FaultInjector* fault_injector = nullptr;
+  /// Run the graph on this persistent session's shared worker pool
+  /// (runtime/executor_session.hpp) instead of spinning a dedicated pool.
+  /// num_threads and use_work_stealing are ignored on this path; the other
+  /// knobs (capture_trace, retire_hook, fault_injector, metrics,
+  /// rethrow_errors) keep their meaning. Null = dedicated pool (default).
+  ExecutorSession* session = nullptr;
+  /// Route through the lazily created process-wide shared session
+  /// (shared_executor_session(), sized to hardware concurrency) so
+  /// concurrent execute() callers cap total workers at one pool instead of
+  /// oversubscribing. Default false: a lone call keeps its dedicated pool,
+  /// which is the fastest shape for a single big factorization. Ignored
+  /// when `session` is set.
+  bool use_shared_pool = false;
 };
 
 /// Run every task body in dependency order, in parallel. Graph tasks with a

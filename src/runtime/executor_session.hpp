@@ -1,0 +1,118 @@
+// Persistent executor session: one shared work-stealing worker pool that
+// accepts task subgraphs from many producer threads and retires each
+// independently.
+//
+// execute() (runtime/executor.hpp) spins up and joins a dedicated pool per
+// call — the right shape for one big factorization, but pathological for a
+// serving workload where thousands of small graphs arrive concurrently:
+// N in-flight calls with num_threads = 0 oversubscribe the machine to
+// N x cores, and every call pays thread creation for a graph that may hold
+// twenty tasks. A session keeps the workers alive across submissions, so
+// concurrent producers (e.g. the FitServer's per-fit drivers in src/serve)
+// multiplex their subgraphs onto one fixed-size pool: admission costs a
+// queue push, not a pool spin-up, and total worker count is capped once for
+// the whole process.
+//
+// Each submission is tracked by a Ticket. Tasks are tagged with their run,
+// scheduled through the same kind-class priority buckets as the
+// work-stealing scheduler, and retired with the same lock-free indegree
+// protocol; a run's completion is signalled independently of every other
+// run in flight. Numerics are identical to execute(): conflicting accesses
+// within a graph are ordered by its dataflow edges, and distinct
+// submissions share no data, so interleaving runs never changes results.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "runtime/executor.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace mpgeo {
+
+class MetricsRegistry;
+class FaultInjector;
+
+namespace detail {
+struct SessionRun;
+}
+
+struct ExecutorSessionOptions {
+  std::size_t num_threads = 0;  ///< pool size; 0 = hardware concurrency
+  /// Schedule through per-worker kind-class buckets (see executor.hpp).
+  bool use_priorities = true;
+  /// Session-lifetime scheduler counters (executor.steals, executor.parks,
+  /// executor.wakeups, executor.max_queue_depth). Per-run counters
+  /// (tasks_retired/failed/cancelled) are reported into the registry given
+  /// at submit() so callers can keep per-tenant registries.
+  MetricsRegistry* metrics = nullptr;
+};
+
+class ExecutorSession {
+ public:
+  explicit ExecutorSession(const ExecutorSessionOptions& options = {});
+  /// Joins the pool. Every submitted run must have been wait()ed (or the
+  /// destructor drains them) — destruction blocks until in-flight runs
+  /// quiesce.
+  ~ExecutorSession();
+  ExecutorSession(const ExecutorSession&) = delete;
+  ExecutorSession& operator=(const ExecutorSession&) = delete;
+
+  /// Per-submission knobs, the subgraph-scoped subset of ExecutorOptions.
+  struct SubmitOptions {
+    bool capture_trace = false;
+    /// Runs on the retiring worker before successors are released, exactly
+    /// like ExecutorOptions::retire_hook.
+    std::function<void(const Task&)> retire_hook;
+    FaultInjector* fault_injector = nullptr;
+    /// Per-run counters (executor.tasks_retired/failed/cancelled).
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Handle to one in-flight submission.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit operator bool() const { return run_ != nullptr; }
+
+   private:
+    friend class ExecutorSession;
+    std::shared_ptr<detail::SessionRun> run_;
+  };
+
+  /// Enqueue `graph`'s roots and return immediately. The graph (and the
+  /// state its task bodies reference) must stay alive until wait() returns.
+  /// Never blocks, so task bodies may themselves submit follow-up graphs —
+  /// but must not wait() on them from a session worker (the wait would
+  /// occupy the worker the nested run needs).
+  Ticket submit(const TaskGraph& graph, SubmitOptions options);
+  Ticket submit(const TaskGraph& graph) {
+    return submit(graph, SubmitOptions{});
+  }
+
+  /// Block until the run quiesces and return its report. Body failures are
+  /// surfaced in report.report (never rethrown here); trace timestamps are
+  /// relative to the run's submission.
+  ExecutionReport wait(Ticket ticket);
+
+  /// execute()-compatible entry: submit + wait, honoring capture_trace,
+  /// retire_hook, fault_injector, metrics and the rethrow_errors contract
+  /// from `options`. num_threads / use_work_stealing are ignored — the
+  /// session owns the pool.
+  ExecutionReport run(const TaskGraph& graph, const ExecutorOptions& options);
+
+  std::size_t num_threads() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-wide shared session behind ExecutorOptions::use_shared_pool:
+/// lazily constructed at hardware concurrency on first use, lives until
+/// process exit. Concurrent execute() callers that opt in share this one
+/// pool instead of spinning num_threads workers each.
+ExecutorSession& shared_executor_session();
+
+}  // namespace mpgeo

@@ -1,0 +1,37 @@
+#include "serve/arrival_trace.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mpgeo {
+
+std::vector<ArrivalEvent> poisson_arrival_trace(std::size_t count,
+                                                double rate_hz,
+                                                std::size_t num_tenants,
+                                                std::uint64_t seed) {
+  MPGEO_REQUIRE(num_tenants > 0,
+                "poisson_arrival_trace: num_tenants must be >= 1");
+  Rng rng(seed);
+  std::vector<ArrivalEvent> trace;
+  trace.reserve(count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rate_hz > 0.0) {
+      // Exponential gap via inverse CDF; uniform() < 1 keeps the log finite.
+      t += -std::log(1.0 - rng.uniform()) / rate_hz;
+    }
+    ArrivalEvent ev;
+    ev.arrival_seconds = t;
+    ev.tenant = std::size_t(rng.uniform_index(num_tenants));
+    const double u = rng.uniform();
+    ev.priority = u < 0.10   ? FitPriority::Interactive
+                  : u < 0.80 ? FitPriority::Batch
+                             : FitPriority::BestEffort;
+    trace.push_back(ev);
+  }
+  return trace;
+}
+
+}  // namespace mpgeo

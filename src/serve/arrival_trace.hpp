@@ -1,0 +1,34 @@
+// Seeded Poisson arrival traces for the serving benchmark and replay tests.
+//
+// bench_serving replays a fixed trace of (arrival time, tenant, priority)
+// events against the FitServer; generating the trace from one seed makes
+// every replay — across runs, machines, and CI — byte-identical, so
+// throughput comparisons and the deterministic-replay test never chase a
+// moving workload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/fit_server.hpp"
+
+namespace mpgeo {
+
+struct ArrivalEvent {
+  double arrival_seconds = 0.0;  ///< offset from trace start
+  std::size_t tenant = 0;        ///< index into the bench's tenant table
+  FitPriority priority = FitPriority::Batch;
+};
+
+/// Generate `count` arrivals of a homogeneous Poisson process at `rate_hz`
+/// (exponential inter-arrival gaps; rate_hz <= 0 means all arrivals at t=0,
+/// i.e. a pure closed-loop burst). Tenants are drawn uniformly from
+/// [0, num_tenants); priorities follow the 10/70/20 interactive/batch/
+/// best-effort split of a typical serving mix. Fully determined by `seed`.
+std::vector<ArrivalEvent> poisson_arrival_trace(std::size_t count,
+                                                double rate_hz,
+                                                std::size_t num_tenants,
+                                                std::uint64_t seed);
+
+}  // namespace mpgeo

@@ -1,0 +1,50 @@
+#include "serve/geometry_registry.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace mpgeo {
+
+GeometryRegistry::GeometryRegistry(MetricsRegistry* metrics)
+    : metrics_(metrics) {}
+
+std::shared_ptr<const TileGeometry> GeometryRegistry::acquire(
+    const LocationSet& locs, std::size_t nb) {
+  const Key key{location_fingerprint(locs), nb};
+  {
+    std::lock_guard lk(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (metrics_) metrics_->counter("serve.geometry_hits").add();
+      return it->second;
+    }
+  }
+  // Build outside the lock: the O(n^2) distance computation must not block
+  // other tenants' lookups. Two fits racing on a fresh key may both build;
+  // the first insert wins and the loser adopts it (the copies are
+  // bit-identical, so either is correct — only the duplicate work is lost).
+  auto geometry = std::make_shared<const TileGeometry>(locs, nb);
+  std::lock_guard lk(mu_);
+  const auto [it, inserted] = cache_.emplace(key, std::move(geometry));
+  if (inserted) {
+    bytes_ += it->second->bytes();
+    if (metrics_) {
+      metrics_->counter("serve.geometry_builds").add();
+      metrics_->gauge("serve.geometry_bytes").set(double(bytes_));
+    }
+  } else if (metrics_) {
+    metrics_->counter("serve.geometry_hits").add();
+  }
+  return it->second;
+}
+
+std::size_t GeometryRegistry::size() const {
+  std::lock_guard lk(mu_);
+  return cache_.size();
+}
+
+std::size_t GeometryRegistry::bytes() const {
+  std::lock_guard lk(mu_);
+  return bytes_;
+}
+
+}  // namespace mpgeo

@@ -1,0 +1,51 @@
+// Cross-tenant TileGeometry sharing for the fit server (DESIGN.md 5f).
+//
+// The theta-invariant distance blocks of PR-4's TileGeometry are a pure
+// function of (LocationSet, tile size) — and real fleets have many tenants
+// observing the same station network. The registry keys geometries by
+// (location fingerprint, nb) so every tenant with an identical location set
+// shares one immutable geometry instead of each fit recomputing and holding
+// its own O(n^2/2) distance blocks. TileGeometry is read-only after
+// construction, so concurrent fits share it without synchronization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "core/tile_geometry.hpp"
+#include "stats/locations.hpp"
+
+namespace mpgeo {
+
+class MetricsRegistry;
+
+class GeometryRegistry {
+ public:
+  /// Reports serve.geometry_hits / serve.geometry_builds and the
+  /// serve.geometry_bytes gauge (resident bytes across all cached
+  /// geometries) when `metrics` is non-null.
+  explicit GeometryRegistry(MetricsRegistry* metrics = nullptr);
+
+  /// Get-or-build the shared geometry for (location_fingerprint(locs), nb).
+  /// Cached blocks are bit-identical to a freshly built TileGeometry by the
+  /// TileGeometry contract, so sharing never changes fit results.
+  std::shared_ptr<const TileGeometry> acquire(const LocationSet& locs,
+                                              std::size_t nb);
+
+  std::size_t size() const;   ///< distinct (fingerprint, nb) entries
+  std::size_t bytes() const;  ///< resident bytes across all entries
+
+ private:
+  using Key = std::pair<std::uint64_t, std::size_t>;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<const TileGeometry>> cache_;
+  std::size_t bytes_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace mpgeo

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -78,6 +79,25 @@ void distance_block(const LocationSet& locs, std::size_t r0, std::size_t c0,
       col[i] = std::sqrt(acc);
     }
   }
+}
+
+std::uint64_t location_fingerprint(const LocationSet& locs) {
+  // splitmix64 finalizer over each coordinate's bit pattern, chained so the
+  // hash is order-sensitive (the Morton ordering is part of a set's
+  // identity — the tile distance blocks depend on it).
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL ^
+                    (std::uint64_t(std::uint32_t(locs.dim)) << 32) ^
+                    std::uint64_t(locs.coords.size());
+  for (double c : locs.coords) {
+    std::uint64_t x;
+    static_assert(sizeof x == sizeof c);
+    std::memcpy(&x, &c, sizeof x);
+    x += h + 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    h = x ^ (x >> 31);
+  }
+  return h == 0 ? 1 : h;  // 0 is reserved as the "unbound" sentinel
 }
 
 void morton_sort(LocationSet& locs) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -30,6 +31,15 @@ struct LocationSet {
 void distance_block(const LocationSet& locs, std::size_t r0, std::size_t c0,
                     std::size_t mb, std::size_t nb, double* out,
                     std::size_t ld);
+
+/// Order-sensitive 64-bit fingerprint of a location set: a splitmix64-based
+/// hash over dim, size, and the bit pattern of every coordinate, so two sets
+/// collide only if they are (almost certainly) coordinate-for-coordinate
+/// identical. Never returns 0, so 0 can serve as an "unbound" sentinel —
+/// MleWorkspace uses it to fail fast on cross-LocationSet reuse, and the
+/// serving layer's TileGeometry registry uses it as the cross-tenant
+/// cache-sharing key.
+std::uint64_t location_fingerprint(const LocationSet& locs);
 
 /// Generate `n` jittered-grid locations in [0,1]^dim, Morton sorted.
 /// The same (n, dim, seed) triple always yields the same set.

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/mle.hpp"
 #include "stats/covariance.hpp"
@@ -142,6 +144,39 @@ TEST(FitMle, VeryLooseAccuracyDegradesButDoesNotCrash) {
     EXPECT_LE(t, opts.upper_bound);
   }
   EXPECT_TRUE(std::isfinite(r.loglik));
+}
+
+TEST(MleWorkspace, FingerprintMismatchFailsFast) {
+  // Regression: a pooled workspace reused across tenants used to pair stale
+  // cached distances with a new LocationSet of the same size, silently
+  // corrupting the likelihood. The workspace now binds to the first set's
+  // fingerprint and must fail fast on any other set.
+  const Covariance cov(CovKind::SqExp);
+  const std::vector<double> truth = {1.0, 0.1};
+  Scenario a = make_scenario(cov, truth, 64, 21);
+  Scenario b = make_scenario(cov, truth, 64, 22);  // same size, new coords
+  MleOptions opts;
+  opts.u_req = 1e-6;
+  opts.tile = 32;
+  MleWorkspace ws;
+  const double la = mp_log_likelihood(cov, a.locs, truth, a.z, opts, ws);
+  EXPECT_TRUE(std::isfinite(la));
+  try {
+    mp_log_likelihood(cov, b.locs, truth, b.z, opts, ws);
+    FAIL() << "expected mpgeo::Error on location fingerprint mismatch";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos)
+        << e.what();
+  }
+  // The sanctioned rebind (what the FitServer's pool does): reset the
+  // fingerprint AND drop the cached geometry, then results match a fresh
+  // workspace bitwise.
+  ws.locs_fingerprint = 0;
+  ws.geometry.reset();
+  const double rebound = mp_log_likelihood(cov, b.locs, truth, b.z, opts, ws);
+  MleWorkspace fresh;
+  const double lb = mp_log_likelihood(cov, b.locs, truth, b.z, opts, fresh);
+  EXPECT_EQ(rebound, lb);
 }
 
 TEST(MpLikelihood, FailedFactorizationReturnsSentinel) {
