@@ -1,5 +1,7 @@
 #include "core/comm_map.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace mpgeo {
@@ -22,6 +24,7 @@ std::string to_string(ConversionStrategy s) {
   switch (s) {
     case ConversionStrategy::Auto: return "STC/auto";
     case ConversionStrategy::AllTTC: return "TTC";
+    case ConversionStrategy::AllSTC: return "STC/all";
   }
   MPGEO_ASSERT(false);
   return {};
@@ -96,6 +99,10 @@ CommMap build_comm_map(const PrecisionMap& pmap, const CommMapOptions& options) 
   }
 
   // --- Algorithm 2, lines 12-28: off-diagonal tiles (TRSM broadcasts). ---
+  // AllSTC skips the consumer raise scans: every panel ships at its own
+  // kernel-precision floor (capped at storage), the most aggressive wire the
+  // sender can justify from local information alone.
+  const bool all_stc = options.strategy == ConversionStrategy::AllSTC;
   for (std::size_t k = 0; k + 1 < nt; ++k) {
     for (std::size_t m = k + 1; m < nt; ++m) {
       const Precision storage_prec = precision_of_storage(pmap.storage(m, k));
@@ -121,12 +128,12 @@ CommMap build_comm_map(const PrecisionMap& pmap, const CommMapOptions& options) 
       // operand; with the literal-pseudocode veto the scan also includes
       // n == m, the FP64 SYRK on the diagonal.
       const std::size_t row_end = options.diagonal_consumers_veto ? m : m - 1;
-      for (std::size_t n = k + 1; n <= row_end && !capped; ++n) {
+      for (std::size_t n = k + 1; n <= row_end && !capped && !all_stc; ++n) {
         raise(pmap.kernel(m, n));
       }
       // Column broadcast: GEMM(n, m, k) for n > m consumes C_mk as its B
       // operand; the consuming kernel runs at the precision of tile (n, m).
-      for (std::size_t n = m + 1; n < nt && !capped; ++n) {
+      for (std::size_t n = m + 1; n < nt && !capped && !all_stc; ++n) {
         raise(pmap.kernel(n, m));
       }
       cmap.set_comm(m, k, comm);
@@ -147,6 +154,33 @@ std::size_t broadcast_payload_bytes(const PrecisionMap& pmap,
     for (std::size_t m = k + 1; m < nt; ++m) {
       const std::size_t consumers = nt - k - 1;  // row + column GEMMs + SYRK
       total += consumers * elems * cmap.wire_bytes_per_element(m, k);
+    }
+  }
+  return total;
+}
+
+std::size_t expected_wire_bytes(const PrecisionMap& pmap, const CommMap& cmap,
+                                const OwnerMap& owners, std::size_t n,
+                                std::size_t nb, bool apply_wire_rounding) {
+  const std::size_t nt = pmap.nt();
+  MPGEO_REQUIRE(cmap.nt() == nt && owners.nt() == nt,
+                "expected_wire_bytes: map size mismatch");
+  MPGEO_REQUIRE(nb >= 1 && n >= 1 && (n + nb - 1) / nb == nt,
+                "expected_wire_bytes: n/nb inconsistent with map size");
+  const auto rows = [&](std::size_t t) { return std::min(nb, n - t * nb); };
+  std::size_t total = 0;
+  for (std::size_t m = 0; m < nt; ++m) {
+    for (std::size_t k = 0; k <= m; ++k) {
+      const std::size_t consumers = cholesky_consumer_ranks(owners, m, k).size();
+      if (consumers == 0) continue;
+      const std::size_t storage_bpe = bytes_per_element(pmap.storage(m, k));
+      // The codec never widens: wire width is clamped at storage width, and
+      // without wire rounding the dist layer ships storage bytes verbatim.
+      const std::size_t bpe =
+          apply_wire_rounding
+              ? std::min(cmap.wire_bytes_per_element(m, k), storage_bpe)
+              : storage_bpe;
+      total += consumers * rows(m) * rows(k) * bpe;
     }
   }
   return total;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/precision_map.hpp"
+#include "dist/owner_map.hpp"
 #include "precision/precision.hpp"
 
 namespace mpgeo {
@@ -38,6 +39,12 @@ namespace mpgeo {
 enum class ConversionStrategy {
   Auto,    ///< Algorithm 2: STC where profitable, TTC elsewhere
   AllTTC,  ///< force receiver-side conversion everywhere (lower bound)
+  AllSTC,  ///< sender converts to the kernel-precision floor everywhere —
+           ///< the aggressive bound of the paper's Fig-8 bracket. Panel
+           ///< wires ignore consumer precisions entirely (no raise scan);
+           ///< diagonal wires keep the Auto rule, because an FP32 diagonal
+           ///< feeding an FP64 TRSM would change the numerics, not just
+           ///< the bytes.
 };
 
 std::string to_string(ConversionStrategy s);
@@ -89,5 +96,22 @@ CommMap build_comm_map(const PrecisionMap& pmap,
 /// callers compare strategies without running the simulator.
 std::size_t broadcast_payload_bytes(const PrecisionMap& pmap,
                                     const CommMap& cmap, std::size_t tile);
+
+/// Analytic fold of the wire bytes a rank-sharded factorization (src/dist)
+/// ships: for every lower-triangle tile, one message per distinct remote
+/// consumer rank (the dist layer converts once and sends once per rank —
+/// not once per consumer task like broadcast_payload_bytes), each message
+/// rows(m) x rows(k) elements (ragged last tile) at the comm map's wire
+/// width clamped to the tile's storage width (the codec never widens on
+/// the wire). With apply_wire_rounding == false the dist layer ships
+/// storage bytes everywhere, so the fold uses storage widths.
+///
+/// Built on the same cholesky_consumer_ranks helper the SEND/RECV
+/// materialization uses, so measured wire.bytes must reconcile exactly —
+/// bench_data_motion asserts it.
+std::size_t expected_wire_bytes(const PrecisionMap& pmap, const CommMap& cmap,
+                                const OwnerMap& owners, std::size_t n,
+                                std::size_t nb,
+                                bool apply_wire_rounding = true);
 
 }  // namespace mpgeo

@@ -87,11 +87,13 @@ double mp_log_likelihood(const Covariance& cov, const LocationSet& locs,
   chol.u_req = options.u_req;
   chol.comm = options.comm;
   chol.num_threads = options.num_threads;
+  chol.use_work_stealing = options.use_work_stealing;
   chol.fp16_32_rule_eps = options.fp16_32_rule_eps;
   chol.metrics = options.metrics;
   chol.escalation = options.escalation;
   chol.fault_injector = options.fault_injector;
   chol.session = options.session;
+  chol.dist = options.dist;
   // Escalation retries restore Sigma by refilling it from the covariance —
   // the generator is the cheapest pristine source (no snapshot copy), and on
   // the fast path the refill reuses the cached tile distances.

@@ -37,6 +37,9 @@ struct MleOptions {
   double fp16_32_rule_eps = 0.0;
   CommMapOptions comm;
   std::size_t num_threads = 0;
+  /// Scheduler choice forwarded to every factorization (A/B + determinism
+  /// tests — numerics are scheduler-independent).
+  bool use_work_stealing = true;
   OptimOptions optim{1e-9, 4000, 0.25};
   double lower_bound = 0.01;  ///< paper: all params in [0.01, 2]
   double upper_bound = 2.0;
@@ -58,6 +61,10 @@ struct MleOptions {
   EscalationOptions escalation{/*max_attempts=*/2, /*promote_ladder=*/false};
   /// Deterministic fault injection for tests/benches (null = off).
   FaultInjector* fault_injector = nullptr;
+  /// Rank-sharded factorization (src/dist): forwarded to every mp_cholesky
+  /// so each likelihood evaluation runs the block-cyclic SEND/RECV path.
+  /// Bit-identical to ranks == 1 (the default) — see MpCholeskyOptions::dist.
+  DistOptions dist;
   /// Run every internal task graph (covariance generation, factorization)
   /// on this persistent shared pool instead of spinning per-evaluation
   /// pools (runtime/executor_session.hpp). num_threads is then ignored.

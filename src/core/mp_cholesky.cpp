@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 
@@ -10,6 +12,7 @@
 #include "linalg/operand_cache.hpp"
 #include "linalg/reference.hpp"
 #include "linalg/tile_kernels.hpp"
+#include "linalg/wire_codec.hpp"
 #include "obs/metrics.hpp"
 #include "precision/convert.hpp"
 #include "runtime/fault_injection.hpp"
@@ -23,6 +26,46 @@ namespace {
 struct NotPositiveDefinite {
   int info;
   int tile;
+};
+
+/// Per-execution state of the rank-sharded path: the ownership map, the
+/// mailboxes SENDs post payloads to, the wire log, the receiver-side replica
+/// tiles (deque: RECV bodies hold stable pointers), and the wire.* metric
+/// handles. Lives on run_cholesky's stack — task bodies referencing it never
+/// run after execute() returns.
+struct DistState {
+  DistState(std::size_t nt, const DistOptions& opts, MetricsRegistry* reg)
+      : owners(nt, opts.ranks, opts.grid_p, opts.grid_q),
+        mail(opts.ranks),
+        replica_of(nt * (nt + 1) / 2) {
+    if (!reg) return;
+    msgs = reg->counter("wire.msgs");
+    bytes = reg->counter("wire.bytes");
+    stc_sends = reg->counter("wire.stc_sends");
+    ttc_sends = reg->counter("wire.ttc_sends");
+    pair_bytes.resize(opts.ranks * opts.ranks);
+    for (std::size_t s = 0; s < opts.ranks; ++s) {
+      for (std::size_t d = 0; d < opts.ranks; ++d) {
+        if (s == d) continue;
+        pair_bytes[s * opts.ranks + d] =
+            reg->counter("wire.bytes." + std::to_string(s) + "->" +
+                         std::to_string(d));
+      }
+    }
+  }
+
+  OwnerMap owners;
+  MailboxSet mail;
+  WireLog log;
+  std::deque<AnyTile> replicas;
+  /// Replica tile + its datum, per (lower-triangle tile index, consumer
+  /// rank). Filled at insertion time, read only through view().
+  std::vector<std::map<int, std::pair<const AnyTile*, DataId>>> replica_of;
+  MetricsRegistry::Counter msgs;
+  MetricsRegistry::Counter bytes;
+  MetricsRegistry::Counter stc_sends;
+  MetricsRegistry::Counter ttc_sends;
+  std::vector<MetricsRegistry::Counter> pair_bytes;  ///< src * ranks + dst
 };
 
 MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
@@ -43,10 +86,18 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
 
   // Register one logical datum per tile. The graph lives in a shared_ptr so
   // a traced run can hand it to the caller for post-mortem analysis.
+  // tile_of_datum grows with every add_datum (the dist path registers extra
+  // payload and replica data); payload data map to no tile (nullptr).
   auto graph_ptr = std::make_shared<TaskGraph>();
   TaskGraph& graph = *graph_ptr;
   std::vector<DataId> data(nt * (nt + 1) / 2);
-  std::vector<const AnyTile*> tile_of_datum(data.size());
+  std::vector<const AnyTile*> tile_of_datum;
+  auto add_datum = [&](DataInfo info, const AnyTile* tile) {
+    const DataId id = graph.add_data(std::move(info));
+    MPGEO_ASSERT(tile_of_datum.size() == id);
+    tile_of_datum.push_back(tile);
+    return id;
+  };
   auto did = [&](std::size_t m, std::size_t k) {
     return data[m * (m + 1) / 2 + k];
   };
@@ -55,11 +106,135 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
       DataInfo info;
       info.name = "C(" + std::to_string(m) + "," + std::to_string(k) + ")";
       info.bytes = a.tile(m, k).bytes();
-      const DataId id = graph.add_data(info);
-      data[m * (m + 1) / 2 + k] = id;
-      tile_of_datum[id] = &a.tile(m, k);
+      data[m * (m + 1) / 2 + k] = add_datum(std::move(info), &a.tile(m, k));
     }
   }
+
+  // Rank-sharded execution: tiles are owned block-cyclically, tasks are
+  // pinned to their tile's owner, and every DAG edge whose producer and
+  // consumer tiles live on different ranks ships a real serialized payload.
+  std::unique_ptr<DistState> dist;
+  if (options.dist.enabled()) {
+    dist = std::make_unique<DistState>(nt, options.dist, options.metrics);
+  }
+  auto owner = [&](std::size_t m, std::size_t k) {
+    return dist ? dist->owners.owner(m, k) : 0;
+  };
+
+  // The tile (+ datum) a task running on `rank` must read for tile (m, k):
+  // the original when the rank owns it, the rank's replica otherwise.
+  auto view = [&](std::size_t m, std::size_t k,
+                  int rank) -> std::pair<const AnyTile*, DataId> {
+    if (!dist || dist->owners.owner(m, k) == rank) {
+      return {&a.tile(m, k), did(m, k)};
+    }
+    const auto& per_rank = dist->replica_of[m * (m + 1) / 2 + k];
+    const auto it = per_rank.find(rank);
+    MPGEO_ASSERT(it != per_rank.end());
+    return it->second;
+  };
+
+  // Materialize the broadcast of tile (m, k)'s final version: one SEND at
+  // the owner (serialize once — STC converts here, at the sender — then
+  // post the same payload to every consumer rank's mailbox, logging one
+  // message per destination) and one RECV per consumer rank (take the
+  // payload, widen it into the rank-local replica). Inserted right after
+  // the producing POTRF/TRSM, so sequential dependence analysis wires
+  // SEND after the producer and every replica consumer after its RECV.
+  auto broadcast = [&](std::size_t m, std::size_t k) {
+    if (!dist) return;
+    const std::vector<int> consumers =
+        cholesky_consumer_ranks(dist->owners, m, k);
+    if (consumers.empty()) return;
+    const int src = owner(m, k);
+    const AnyTile* tile = &a.tile(m, k);
+    const Storage storage_fmt = pmap.storage(m, k);
+    // Without wire rounding the numeric path never rounds panels through
+    // the wire, so payloads must ship at storage width to stay bit-exact.
+    Storage wire_fmt = storage_fmt;
+    if (options.apply_wire_rounding) {
+      const Storage w = wire_storage(cmap.comm(m, k));
+      if (bytes_per_element(w) < bytes_per_element(storage_fmt)) wire_fmt = w;
+    }
+    const bool stc =
+        bytes_per_element(wire_fmt) < bytes_per_element(storage_fmt);
+    const std::string tname =
+        "(" + std::to_string(m) + "," + std::to_string(k) + ")";
+
+    DataInfo pinfo;
+    pinfo.name = "wire" + tname;
+    pinfo.bytes = tile->size() * bytes_per_element(wire_fmt);
+    const DataId pdid = add_datum(std::move(pinfo), nullptr);
+
+    TaskInfo si;
+    si.name = "SEND" + tname;
+    si.kind = KernelKind::SEND;
+    si.prec = cmap.comm(m, k);
+    si.tm = int(m);
+    si.tk = int(k);
+    si.rank = src;
+    si.wire_bytes = std::size_t(consumers.size()) *
+                    (tile->size() * bytes_per_element(wire_fmt));
+    DistState* ds = dist.get();
+    FaultInjector* inj = options.fault_injector;
+    const TaskId stid = TaskId(graph.num_tasks());
+    graph.add_task(
+        si, {{did(m, k), AccessMode::Read}, {pdid, AccessMode::Write}},
+        [ds, tile, wire_fmt, src, consumers, pdid, inj, stid, m, k] {
+          auto payload =
+              std::make_shared<WirePayload>(serialize_tile(*tile, wire_fmt));
+          // WireCorrupt fault: flip mantissa bits of the serialized bytes —
+          // every consumer of this broadcast sees the corruption, exactly
+          // like a bit error on a real interconnect payload.
+          if (inj && inj->payload_corruption(stid, KernelKind::SEND)) {
+            corrupt_payload_mantissa(*payload);
+          }
+          const std::size_t msg_bytes = payload->size_bytes();
+          const bool is_stc =
+              bytes_per_element(payload->format) <
+              bytes_per_element(tile->storage());
+          for (int dst : consumers) {
+            ds->mail.post(dst, pdid, payload);
+            ds->log.add(WireRecord{src, dst, int(m), int(k), msg_bytes,
+                                   payload->format, is_stc});
+            ds->msgs.add();
+            ds->bytes.add(msg_bytes);
+            if (is_stc) {
+              ds->stc_sends.add();
+            } else {
+              ds->ttc_sends.add();
+            }
+            if (!ds->pair_bytes.empty()) {
+              ds->pair_bytes[std::size_t(src) * ds->owners.ranks() +
+                             std::size_t(dst)]
+                  .add(msg_bytes);
+            }
+          }
+        });
+
+    for (int dst : consumers) {
+      dist->replicas.emplace_back(tile->rows(), tile->cols(), storage_fmt);
+      AnyTile* rep = &dist->replicas.back();
+      DataInfo rinfo;
+      rinfo.name = "R" + tname + "@" + std::to_string(dst);
+      rinfo.bytes = rep->bytes();
+      const DataId rdid = add_datum(std::move(rinfo), rep);
+      TaskInfo ri;
+      ri.name = "RECV" + tname + "@" + std::to_string(dst);
+      ri.kind = KernelKind::RECV;
+      ri.prec = cmap.comm(m, k);
+      ri.tm = int(m);
+      ri.tk = int(k);
+      ri.rank = dst;
+      graph.add_task(ri, {{pdid, AccessMode::Read}, {rdid, AccessMode::Write}},
+                     [ds, rep, dst, pdid] {
+                       const auto payload = ds->mail.take(dst, pdid);
+                       deserialize_into(*payload, *rep);
+                     });
+      dist->replica_of[m * (m + 1) / 2 + k].emplace(dst,
+                                                    std::make_pair(rep, rdid));
+    }
+  };
 
   // The shared-memory STC: memoize packed operands keyed by the data version
   // each consumer observes (captured below at insertion time — insertion
@@ -81,7 +256,9 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
     stc_roundings = options.metrics->counter("cholesky.stc_wire_roundings");
   }
 
-  // Algorithm 1, right-looking tile Cholesky.
+  // Algorithm 1, right-looking tile Cholesky. Every compute task is pinned
+  // to its output tile's owner rank; cross-rank reads go through replicas
+  // fed by the SEND/RECV broadcasts inserted right after each producer.
   for (std::size_t k = 0; k < nt; ++k) {
     {
       TaskInfo ti;
@@ -89,6 +266,7 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
       ti.kind = KernelKind::POTRF;
       ti.prec = Precision::FP64;
       ti.tm = ti.tn = int(k);
+      if (dist) ti.rank = owner(k, k);
       AnyTile* ckk = &a.tile(k, k);
       // Conversion-fault hook: corrupt the diagonal before factoring (the
       // id of the task being inserted is the current task count).
@@ -105,6 +283,13 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
         if (info != 0) throw NotPositiveDefinite{info, int(k)};
       });
     }
+    // Broadcast the factored diagonal to the TRSM ranks of column k. The
+    // payload may travel at FP32 (Algorithm 2's diagonal rule); that is
+    // value-lossy on an FP64 diagonal, but the rule only picks FP32 when no
+    // FP64 TRSM consumes it — and a sub-FP64 TRSM rounds its inputs through
+    // FP32 anyway, so the replica-fed result is bit-identical to the
+    // shared-memory path.
+    broadcast(k, k);
     for (std::size_t m = k + 1; m < nt; ++m) {
       TaskInfo ti;
       ti.name = "TRSM(" + std::to_string(m) + "," + std::to_string(k) + ")";
@@ -112,17 +297,18 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
       ti.prec = pmap.trsm_precision(m, k);
       ti.tm = int(m);
       ti.tk = int(k);
-      const AnyTile* ckk = &a.tile(k, k);
+      if (dist) ti.rank = owner(m, k);
+      const auto [ckk, dkk] = view(k, k, owner(m, k));
       AnyTile* cmk = &a.tile(m, k);
       const Precision trsm_prec = ti.prec;
       const bool stc = options.apply_wire_rounding && cmap.uses_stc(m, k, pmap);
       const Storage wire = wire_storage(cmap.comm(m, k));
-      const std::uint64_t vkk = graph.data_version(did(k, k));
+      const std::uint64_t vkk = graph.data_version(dkk);
       FaultInjector* inj = options.fault_injector;
       const TaskId tid = TaskId(graph.num_tasks());
       graph.add_task(
           ti,
-          {{did(k, k), AccessMode::Read}, {did(m, k), AccessMode::ReadWrite}},
+          {{dkk, AccessMode::Read}, {did(m, k), AccessMode::ReadWrite}},
           [ckk, cmk, trsm_prec, stc, wire, vkk, cache_ptr, stc_roundings, inj,
            tid] {
             trsm_tile(trsm_prec, TileOperand{ckk, vkk}, *cmk, cache_ptr);
@@ -131,7 +317,8 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
               // STC: the broadcast payload is the wire-rounded panel; all
               // consumers (including the FP64 SYRK) see these values. The
               // rounding happens in the tile's own storage format — no
-              // double round trip — with identical resulting bits.
+              // double round trip — with identical resulting bits. It also
+              // makes the dist SEND's narrow serialization value-exact.
               cmk->round_through_wire(wire);
             }
             // Conversion-fault hook: a panel entry leaves this task NaN or
@@ -143,6 +330,8 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
               }
             }
           });
+      // Broadcast the finished panel to its SYRK/GEMM consumer ranks.
+      broadcast(m, k);
     }
     for (std::size_t m = k + 1; m < nt; ++m) {
       TaskInfo ti;
@@ -151,12 +340,13 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
       ti.prec = Precision::FP64;
       ti.tm = int(m);
       ti.tk = int(k);
-      const AnyTile* cmk = &a.tile(m, k);
+      if (dist) ti.rank = owner(m, m);
+      const auto [cmk, dmk] = view(m, k, owner(m, m));
       AnyTile* cmm = &a.tile(m, m);
-      const std::uint64_t vmk = graph.data_version(did(m, k));
+      const std::uint64_t vmk = graph.data_version(dmk);
       graph.add_task(
           ti,
-          {{did(m, k), AccessMode::Read}, {did(m, m), AccessMode::ReadWrite}},
+          {{dmk, AccessMode::Read}, {did(m, m), AccessMode::ReadWrite}},
           [cmk, cmm, vmk, cache_ptr] {
             syrk_tile(TileOperand{cmk, vmk}, *cmm, cache_ptr);
           });
@@ -171,15 +361,16 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
         ti.tm = int(m);
         ti.tn = int(n);
         ti.tk = int(k);
-        const AnyTile* cmk = &a.tile(m, k);
-        const AnyTile* cnk = &a.tile(n, k);
+        if (dist) ti.rank = owner(m, n);
+        const auto [cmk, dmk] = view(m, k, owner(m, n));
+        const auto [cnk, dnk] = view(n, k, owner(m, n));
         AnyTile* cmn = &a.tile(m, n);
         const Precision prec = ti.prec;
-        const std::uint64_t vmk = graph.data_version(did(m, k));
-        const std::uint64_t vnk = graph.data_version(did(n, k));
+        const std::uint64_t vmk = graph.data_version(dmk);
+        const std::uint64_t vnk = graph.data_version(dnk);
         graph.add_task(ti,
-                       {{did(m, k), AccessMode::Read},
-                        {did(n, k), AccessMode::Read},
+                       {{dmk, AccessMode::Read},
+                        {dnk, AccessMode::Read},
                         {did(m, n), AccessMode::ReadWrite}},
                        [cmk, cnk, cmn, prec, vmk, vnk, cache_ptr] {
                          gemm_tile(prec, TileOperand{cmk, vmk},
@@ -202,6 +393,10 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
   exec_opts.rethrow_errors = false;
   exec_opts.fault_injector = options.fault_injector;
   exec_opts.session = options.session;
+  // One thread-pool shard per rank; the WS scheduler keeps rank-r tasks on
+  // shard r % nshards. Session runs skip affinity (locality model only —
+  // dataflow edges already order everything, so numerics are unaffected).
+  exec_opts.rank_shards = options.dist.enabled() ? options.dist.ranks : 0;
   if (cache_ptr) {
     // Drop packs of any datum a retiring task wrote, before successors can
     // run. In Cholesky proper every tile is write-finalized before its first
@@ -211,7 +406,10 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
     exec_opts.retire_hook = [cache_ptr, &tile_of_datum](const Task& t) {
       for (const Access& acc : t.accesses) {
         if (acc.mode != AccessMode::Read) {
-          cache_ptr->invalidate(tile_of_datum[acc.data]);
+          // Payload data (dist SEND outputs) map to no tile.
+          if (const AnyTile* tile = tile_of_datum[acc.data]) {
+            cache_ptr->invalidate(tile);
+          }
         }
       }
     };
@@ -232,6 +430,10 @@ MpCholeskyResult run_cholesky(TileMatrix& a, const MpCholeskyOptions& options,
   if (cache_ptr) {
     result.operand_cache = cache_ptr->stats();
     if (options.metrics) cache_ptr->publish(*options.metrics);
+  }
+  if (dist) {
+    result.wire = dist->log.stats();
+    result.wire_log = sorted_records(dist->log);
   }
   if (options.capture_trace) result.graph = graph_ptr;
   return result;

@@ -28,6 +28,8 @@
 #include "core/comm_map.hpp"
 #include "core/precision_map.hpp"
 #include "core/tile_matrix.hpp"
+#include "dist/owner_map.hpp"
+#include "dist/wire.hpp"
 #include "linalg/operand_cache.hpp"
 #include "runtime/executor.hpp"
 
@@ -100,6 +102,16 @@ struct MpCholeskyOptions {
   /// of a per-call pool (runtime/executor_session.hpp); num_threads and
   /// use_work_stealing are then ignored. Null = dedicated pool (default).
   ExecutorSession* session = nullptr;
+  /// Rank-sharded execution (src/dist): distribute tiles over `dist.ranks`
+  /// ranks block-cyclically, pin each tile's tasks to its owner's
+  /// thread-pool shard, and materialize SEND/RECV tasks with real serialized
+  /// payloads on every cross-rank DAG edge (STC/TTC per the comm map).
+  /// ranks == 1 (default) is the zero-copy shared-memory path. Results are
+  /// bitwise identical across rank counts and schedulers: STC panels are
+  /// wire-rounded in place before serialization, so every payload round-trips
+  /// the codec exactly, and with apply_wire_rounding == false payloads ship
+  /// at storage width.
+  DistOptions dist;
 };
 
 struct MpCholeskyResult {
@@ -128,6 +140,13 @@ struct MpCholeskyResult {
   /// the task bodies hold pointers into state that died with the
   /// factorization — never re-execute this graph.
   std::shared_ptr<const TaskGraph> graph;
+  /// Wire traffic of the rank-sharded path (all-zero / empty when
+  /// dist.ranks == 1): aggregate stats of every message actually shipped,
+  /// and the full log sorted by (tm, tk, src, dst) — replayable through
+  /// gpusim via replay_wire_log for byte-exact cross-validation. For the
+  /// escalation loop these describe the final (successful) attempt.
+  WireStats wire;
+  std::vector<WireRecord> wire_log;
 };
 
 /// Factor `a` (generated in FP64) in place: on return the lower triangle

@@ -1,0 +1,77 @@
+// 2D block-cyclic tile ownership over the Cholesky tile grid (ScaLAPACK
+// (p, q) convention) — the rank model of the distributed execution path.
+//
+// "Ranks" here are thread-pool shards of one process (see
+// ExecutorOptions::rank_shards) exchanging serialized payloads through
+// mailboxes; the ownership map, the SEND/RECV materialization and the wire
+// accounting are exactly what a real multi-node run over MPI would use, so
+// the sharded path measures the paper's STC/TTC wire behaviour on real
+// bytes while staying deterministic and bit-identical to single-rank.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mpgeo {
+
+/// Distribution knob for mp_cholesky / fit_mle. ranks == 1 (the default) is
+/// the current zero-copy shared-memory path, bit-identical by construction.
+struct DistOptions {
+  /// Number of ranks (thread-pool shards). 1 = off.
+  std::size_t ranks = 1;
+  /// Process grid shape; 0 = choose automatically (p = largest divisor of
+  /// `ranks` with p <= sqrt(ranks), so the grid is as square as possible).
+  /// When set, p * q must equal ranks.
+  std::size_t grid_p = 0;
+  std::size_t grid_q = 0;
+
+  bool enabled() const { return ranks > 1; }
+};
+
+/// Pick the default (p, q) process grid for `ranks` ranks: p the largest
+/// divisor of ranks with p <= sqrt(ranks), q = ranks / p (so p <= q).
+std::pair<std::size_t, std::size_t> process_grid(std::size_t ranks);
+
+/// Block-cyclic owner map: tile (m, k) of an nt x nt grid belongs to rank
+/// (m mod p) * q + (k mod q) on a p x q process grid.
+class OwnerMap {
+ public:
+  /// p == q == 0 picks the default grid via process_grid(ranks).
+  OwnerMap(std::size_t nt, std::size_t ranks, std::size_t p = 0,
+           std::size_t q = 0);
+
+  std::size_t nt() const { return nt_; }
+  std::size_t ranks() const { return ranks_; }
+  std::size_t grid_p() const { return p_; }
+  std::size_t grid_q() const { return q_; }
+
+  /// Owning rank of tile (m, k).
+  int owner(std::size_t m, std::size_t k) const {
+    return int((m % p_) * q_ + (k % q_));
+  }
+
+  /// All lower-triangle tiles (m >= k) owned by `rank`, row-major order.
+  std::vector<std::pair<std::size_t, std::size_t>> tiles_of(int rank) const;
+
+ private:
+  std::size_t nt_;
+  std::size_t ranks_;
+  std::size_t p_, q_;
+};
+
+/// Consumer ranks of tile (m, k)'s panel/diagonal broadcast in the tile
+/// Cholesky DAG, excluding the owner itself (those edges are rank-local and
+/// ship nothing). Sorted, deduplicated.
+///
+///   diagonal (k, k): consumed by the TRSMs of column k — tiles (m, k),
+///     m > k;
+///   panel (m, k), m > k: consumed by SYRK at (m, m) and by the GEMMs of
+///     every trailing tile (m, n) for k < n < m and (n, m) for n > m.
+///
+/// Shared by the run_cholesky SEND/RECV materialization and the analytic
+/// expected_wire_bytes fold in comm_map.cpp so the two cannot drift.
+std::vector<int> cholesky_consumer_ranks(const OwnerMap& owners,
+                                         std::size_t m, std::size_t k);
+
+}  // namespace mpgeo

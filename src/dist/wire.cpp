@@ -1,0 +1,137 @@
+#include "dist/wire.hpp"
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace mpgeo {
+
+void WireLog::add(const WireRecord& rec) {
+  std::lock_guard lk(mu_);
+  records_.push_back(rec);
+}
+
+std::vector<WireRecord> WireLog::records() const {
+  std::lock_guard lk(mu_);
+  return records_;
+}
+
+WireStats WireLog::stats() const {
+  std::lock_guard lk(mu_);
+  WireStats out;
+  out.messages = records_.size();
+  for (const WireRecord& r : records_) {
+    out.bytes += r.bytes;
+    if (r.stc) {
+      ++out.stc_sends;
+    } else {
+      ++out.ttc_sends;
+    }
+  }
+  return out;
+}
+
+std::vector<WireRecord> sorted_records(const WireLog& log) {
+  std::vector<WireRecord> out = log.records();
+  std::sort(out.begin(), out.end(),
+            [](const WireRecord& a, const WireRecord& b) {
+              return std::tie(a.tm, a.tk, a.src, a.dst) <
+                     std::tie(b.tm, b.tk, b.src, b.dst);
+            });
+  return out;
+}
+
+MailboxSet::MailboxSet(std::size_t ranks) {
+  MPGEO_REQUIRE(ranks >= 1, "MailboxSet: ranks must be >= 1");
+  boxes_.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    boxes_.push_back(std::make_unique<Box>());
+  }
+}
+
+void MailboxSet::post(int rank, std::uint64_t tag,
+                      std::shared_ptr<const WirePayload> payload) {
+  MPGEO_REQUIRE(rank >= 0 && std::size_t(rank) < boxes_.size(),
+                "MailboxSet::post: bad rank");
+  Box& box = *boxes_[std::size_t(rank)];
+  std::lock_guard lk(box.mu);
+  const bool inserted = box.slots.emplace(tag, std::move(payload)).second;
+  MPGEO_REQUIRE(inserted, "MailboxSet::post: duplicate tag " +
+                              std::to_string(tag));
+}
+
+std::shared_ptr<const WirePayload> MailboxSet::take(int rank,
+                                                    std::uint64_t tag) {
+  MPGEO_REQUIRE(rank >= 0 && std::size_t(rank) < boxes_.size(),
+                "MailboxSet::take: bad rank");
+  Box& box = *boxes_[std::size_t(rank)];
+  std::lock_guard lk(box.mu);
+  auto it = box.slots.find(tag);
+  MPGEO_REQUIRE(it != box.slots.end(),
+                "MailboxSet::take: no payload under tag " +
+                    std::to_string(tag) + " (RECV before SEND?)");
+  auto out = std::move(it->second);
+  box.slots.erase(it);
+  return out;
+}
+
+TaskGraph build_wire_replay_graph(const std::vector<WireRecord>& records) {
+  TaskGraph graph;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const WireRecord& rec = records[i];
+    const std::string tile = "(" + std::to_string(rec.tm) + "," +
+                             std::to_string(rec.tk) + ")";
+    DataInfo d;
+    d.name = "wire" + tile + "#" + std::to_string(i);
+    d.bytes = rec.bytes;
+    d.home_device = rec.src;
+    const DataId did = graph.add_data(d);
+
+    TaskInfo send;
+    send.name = "SEND" + tile;
+    send.kind = KernelKind::SEND;
+    send.tm = rec.tm;
+    send.tk = rec.tk;
+    send.device = rec.src;
+    send.wire_bytes = rec.bytes;
+    send.rank = rec.src;
+    graph.add_task(send, {{did, AccessMode::Write}});
+
+    TaskInfo recv;
+    recv.name = "RECV" + tile;
+    recv.kind = KernelKind::RECV;
+    recv.tm = rec.tm;
+    recv.tk = rec.tk;
+    recv.device = rec.dst;
+    recv.rank = rec.dst;
+    graph.add_task(recv, {{did, AccessMode::Read}});
+  }
+  return graph;
+}
+
+ClusterConfig wire_replay_cluster(std::size_t ranks) {
+  ClusterConfig cluster = single_gpu(GpuModel::V100);
+  cluster.num_nodes = int(ranks);
+  cluster.gpus_per_node = 1;
+  return cluster;
+}
+
+SimReport replay_wire_log(const std::vector<WireRecord>& records,
+                          std::size_t ranks, MetricsRegistry* metrics) {
+  MPGEO_REQUIRE(ranks >= 1, "replay_wire_log: ranks must be >= 1");
+  for (const WireRecord& rec : records) {
+    MPGEO_REQUIRE(rec.src >= 0 && std::size_t(rec.src) < ranks &&
+                      rec.dst >= 0 && std::size_t(rec.dst) < ranks,
+                  "replay_wire_log: record endpoint outside rank range");
+    MPGEO_REQUIRE(rec.src != rec.dst,
+                  "replay_wire_log: rank-local record should not exist");
+  }
+  const TaskGraph graph = build_wire_replay_graph(records);
+  SimOptions opts;
+  opts.metrics = metrics;
+  return simulate(graph, wire_replay_cluster(ranks), opts);
+}
+
+}  // namespace mpgeo

@@ -1,0 +1,108 @@
+// Wire traffic of the rank-sharded execution path: mailboxes that carry
+// serialized payloads between rank shards, the wire log that records every
+// message, and the gpusim replay that cross-validates measured bytes
+// against the simulator's link accounting.
+//
+// A SEND task serializes its tile once (at the CommMap communication
+// precision — Algorithm 2's sender-type conversion) and posts the same
+// payload to every consumer rank's mailbox; one WireRecord is logged per
+// (payload, destination) message, matching broadcast_payload_bytes' "one
+// send per consumer" accounting. The matching RECV task takes the payload
+// and widens it into a rank-local replica tile.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/cluster.hpp"
+#include "gpusim/sim_executor.hpp"
+#include "linalg/wire_codec.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace mpgeo {
+
+class MetricsRegistry;
+
+/// One message: payload of tile (tm, tk) from rank src to rank dst.
+struct WireRecord {
+  int src = 0;
+  int dst = 0;
+  int tm = -1;
+  int tk = -1;
+  std::size_t bytes = 0;
+  Storage format = Storage::FP64;
+  bool stc = false;  ///< payload narrower than the tile's storage format
+};
+
+struct WireStats {
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  std::size_t stc_sends = 0;
+  std::size_t ttc_sends = 0;
+};
+
+/// Thread-safe append-only log of every message a sharded run shipped.
+/// SEND bodies append concurrently; order is scheduler-dependent, so
+/// consumers wanting determinism sort (sorted_records).
+class WireLog {
+ public:
+  void add(const WireRecord& rec);
+  std::vector<WireRecord> records() const;
+  WireStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<WireRecord> records_;
+};
+
+/// Deterministic view of a log: sorted by (tm, tk, src, dst).
+std::vector<WireRecord> sorted_records(const WireLog& log);
+
+/// Per-rank mailboxes. post() files a payload under a tag unique to the
+/// broadcast (the dist layer uses the payload's DataId); take() removes and
+/// returns it. A RECV task runs strictly after its SEND (DAG edge), so
+/// take() never blocks — a missing tag is a logic error and throws.
+class MailboxSet {
+ public:
+  explicit MailboxSet(std::size_t ranks);
+
+  void post(int rank, std::uint64_t tag,
+            std::shared_ptr<const WirePayload> payload);
+  std::shared_ptr<const WirePayload> take(int rank, std::uint64_t tag);
+
+  std::size_t ranks() const { return boxes_.size(); }
+
+ private:
+  struct Box {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::shared_ptr<const WirePayload>>
+        slots;
+  };
+  std::vector<std::unique_ptr<Box>> boxes_;
+};
+
+/// Build the simulation graph of a recorded wire log: per record one datum
+/// of exactly `bytes` resident on device `src`, a SEND (Write, device src,
+/// wire_bytes = bytes) and a RECV (Read, device dst). On the replay cluster
+/// below every src != dst pair is a cross-node edge, so the simulator moves
+/// each payload over the network link exactly once — sim.bytes.network ==
+/// sum of record bytes, which is the reconciliation bench_data_motion
+/// asserts.
+TaskGraph build_wire_replay_graph(const std::vector<WireRecord>& records);
+
+/// One V100 per node, `ranks` nodes: rank r = device r, every inter-rank
+/// message crosses the network.
+ClusterConfig wire_replay_cluster(std::size_t ranks);
+
+/// Replay a wire log through gpusim (build_wire_replay_graph on
+/// wire_replay_cluster). With `metrics`, the simulator publishes its usual
+/// sim.bytes.<link> counters for cross-validation against wire.bytes.*.
+SimReport replay_wire_log(const std::vector<WireRecord>& records,
+                          std::size_t ranks,
+                          MetricsRegistry* metrics = nullptr);
+
+}  // namespace mpgeo

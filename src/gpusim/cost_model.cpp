@@ -108,6 +108,11 @@ double CostModel::base_task_seconds(const TaskInfo& info,
     case KernelKind::CONVERT:
       return conversion_seconds(tile * tile, info.conv_from, info.conv_to);
     case KernelKind::GENERATE: return generate_seconds(tile, tile);
+    // Wire endpoints have no compute cost of their own: the bytes they move
+    // are modeled by the transfer the simulator schedules for the edge
+    // (which is the whole point of replaying a wire log through it).
+    case KernelKind::SEND:
+    case KernelKind::RECV: return 0.0;
     case KernelKind::CUSTOM: {
       const double rate = tflops_to_flops(spec_.peak_tflops(info.prec)) *
                           spec_.sustained_fraction(info.prec);

@@ -50,6 +50,10 @@ TaskPriority priority_of(const TaskInfo& info, TaskId id) {
   switch (info.kind) {
     case KernelKind::POTRF: cls = 0; break;
     case KernelKind::TRSM: cls = 1; break;
+    // Wire tasks (dist replay) gate remote consumers like panels gate
+    // iterations; schedule them alongside conversions.
+    case KernelKind::SEND: cls = 2; break;
+    case KernelKind::RECV: cls = 2; break;
     case KernelKind::CONVERT: cls = 2; break;
     case KernelKind::SYRK: cls = 3; break;
     case KernelKind::GENERATE: cls = 4; break;

@@ -154,4 +154,24 @@ void AnyTile::set(std::size_t i, std::size_t j, double v) {
       buf_);
 }
 
+std::span<const std::byte> AnyTile::raw_bytes() const {
+  std::span<const std::byte> out;
+  std::visit(
+      [&](const auto& v) {
+        out = std::as_bytes(std::span(v.data(), v.size()));
+      },
+      buf_);
+  return out;
+}
+
+std::span<std::byte> AnyTile::raw_bytes() {
+  std::span<std::byte> out;
+  std::visit(
+      [&](auto& v) {
+        out = std::as_writable_bytes(std::span(v.data(), v.size()));
+      },
+      buf_);
+  return out;
+}
+
 }  // namespace mpgeo

@@ -71,6 +71,12 @@ class AnyTile {
   double at(std::size_t i, std::size_t j) const;
   void set(std::size_t i, std::size_t j, double v);
 
+  /// Raw storage bytes of the payload (column-major, in the tile's own
+  /// format). Used by the wire codec for verbatim serialize/deserialize;
+  /// also the basis of bitwise tile comparison in tests.
+  std::span<const std::byte> raw_bytes() const;
+  std::span<std::byte> raw_bytes();
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

@@ -1,0 +1,137 @@
+#include "linalg/wire_codec.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "precision/convert.hpp"
+#include "precision/float16.hpp"
+
+namespace mpgeo {
+namespace {
+
+// All payload <-> element traffic goes through typed temporaries + memcpy;
+// a byte buffer is never dereferenced as a wider type (strict aliasing).
+
+template <class Elem>
+void copy_in(std::vector<std::byte>& bytes, std::span<const Elem> src) {
+  bytes.resize(src.size_bytes());
+  std::memcpy(bytes.data(), src.data(), src.size_bytes());
+}
+
+template <class Elem>
+std::vector<Elem> copy_out(const std::vector<std::byte>& bytes,
+                           std::size_t n) {
+  std::vector<Elem> out(n);
+  MPGEO_ASSERT(bytes.size() == n * sizeof(Elem));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+}  // namespace
+
+WirePayload serialize_tile(const AnyTile& t, Storage wire) {
+  // Never widen on the wire: the payload format is the narrower of the
+  // requested wire format and what the tile actually stores.
+  const Storage fmt =
+      bytes_per_element(wire) < bytes_per_element(t.storage()) ? wire
+                                                               : t.storage();
+  WirePayload p;
+  p.format = fmt;
+  p.rows = static_cast<std::uint32_t>(t.rows());
+  p.cols = static_cast<std::uint32_t>(t.cols());
+  const std::size_t n = t.size();
+
+  if (fmt == t.storage()) {
+    const auto raw = t.raw_bytes();
+    p.bytes.assign(raw.begin(), raw.end());
+    return p;
+  }
+  // Narrowing conversion at the sender — the STC case.
+  if (t.storage() == Storage::FP64) {
+    const std::vector<double> d = t.to_double();
+    if (fmt == Storage::FP32) {
+      std::vector<float> f(n);
+      convert(std::span<const double>(d), std::span<float>(f));
+      copy_in<float>(p.bytes, std::span<const float>(f));
+    } else {
+      std::vector<float16> h(n);
+      convert(std::span<const double>(d), std::span<float16>(h));
+      copy_in<float16>(p.bytes, std::span<const float16>(h));
+    }
+  } else {  // FP32 storage -> FP16 wire
+    std::vector<float> f(n);
+    t.to_float(std::span<float>(f));
+    std::vector<float16> h(n);
+    convert(std::span<const float>(f), std::span<float16>(h));
+    copy_in<float16>(p.bytes, std::span<const float16>(h));
+  }
+  return p;
+}
+
+void deserialize_into(const WirePayload& p, AnyTile& dst) {
+  MPGEO_REQUIRE(dst.rows() == p.rows && dst.cols() == p.cols,
+                "deserialize_into: dimension mismatch");
+  const std::size_t n = std::size_t(p.rows) * p.cols;
+  MPGEO_REQUIRE(p.bytes.size() == n * bytes_per_element(p.format),
+                "deserialize_into: payload size mismatch");
+  MPGEO_REQUIRE(
+      bytes_per_element(dst.storage()) >= bytes_per_element(p.format),
+      "deserialize_into: destination narrower than payload");
+
+  if (dst.storage() == p.format) {
+    const auto raw = dst.raw_bytes();
+    std::memcpy(raw.data(), p.bytes.data(), p.bytes.size());
+    return;
+  }
+  // Widening at the receiver (exact: every narrower value is representable).
+  if (p.format == Storage::FP32) {
+    const std::vector<float> f = copy_out<float>(p.bytes, n);
+    std::vector<double> d(n);
+    convert(std::span<const float>(f), std::span<double>(d));
+    std::memcpy(dst.raw_bytes().data(), d.data(), n * sizeof(double));
+  } else {  // FP16 payload
+    const std::vector<float16> h = copy_out<float16>(p.bytes, n);
+    if (dst.storage() == Storage::FP64) {
+      std::vector<double> d(n);
+      convert(std::span<const float16>(h), std::span<double>(d));
+      std::memcpy(dst.raw_bytes().data(), d.data(), n * sizeof(double));
+    } else {
+      std::vector<float> f(n);
+      convert(std::span<const float16>(h), std::span<float>(f));
+      std::memcpy(dst.raw_bytes().data(), f.data(), n * sizeof(float));
+    }
+  }
+}
+
+void corrupt_payload_mantissa(WirePayload& p) {
+  const std::size_t n =
+      p.bytes.size() / bytes_per_element(p.format);
+  switch (p.format) {
+    case Storage::FP64:
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t b;
+        std::memcpy(&b, p.bytes.data() + i * 8, 8);
+        b |= 0x000FF00000000000ull;  // top 8 mantissa bits
+        std::memcpy(p.bytes.data() + i * 8, &b, 8);
+      }
+      break;
+    case Storage::FP32:
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t b;
+        std::memcpy(&b, p.bytes.data() + i * 4, 4);
+        b |= 0x007F8000u;  // top 8 mantissa bits
+        std::memcpy(p.bytes.data() + i * 4, &b, 4);
+      }
+      break;
+    case Storage::FP16:
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint16_t b;
+        std::memcpy(&b, p.bytes.data() + i * 2, 2);
+        b |= 0x03E0;  // top 5 mantissa bits
+        std::memcpy(p.bytes.data() + i * 2, &b, 2);
+      }
+      break;
+  }
+}
+
+}  // namespace mpgeo

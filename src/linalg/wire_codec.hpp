@@ -1,0 +1,56 @@
+// Serialization codec for tiles crossing a rank boundary (src/dist).
+//
+// A WirePayload is the byte string a SEND task actually ships: a column-major
+// element array in one of the three Storage formats, chosen per Algorithm 2
+// of the paper. STC serializes at the narrower communication format (one
+// conversion at the sender, shared by every consumer of a broadcast); TTC
+// serializes the storage bytes verbatim and the receiver widens.
+//
+// Exactness contract: serialize_tile at a format >= the tile's storage is a
+// verbatim byte copy, and deserialize_into a destination >= the payload
+// format widens exactly — so a round trip through the wire is bit-identical
+// whenever the tile's values already fit the wire format (which the dist
+// factorization guarantees by wire-rounding STC panels in place before they
+// are serialized, exactly like the shared-memory path does).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/anytile.hpp"
+#include "precision/precision.hpp"
+
+namespace mpgeo {
+
+/// A serialized tile: `bytes` holds rows*cols elements of `format`,
+/// column-major, no header compression.
+struct WirePayload {
+  Storage format = Storage::FP64;
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::vector<std::byte> bytes;
+
+  std::size_t size_bytes() const { return bytes.size(); }
+};
+
+/// Serialize `t` at wire format `wire`. The effective payload format is the
+/// narrower of `wire` and the tile's storage (serializing wider than storage
+/// would fabricate bits the receiver cannot distinguish from data, and ships
+/// more bytes for nothing — the codec never widens on the wire).
+WirePayload serialize_tile(const AnyTile& t, Storage wire);
+
+/// Deserialize `p` into `dst` (already sized rows x cols, storage at least
+/// as wide as the payload format — the receiver-side replica always stores
+/// at its own tile storage). Equal formats memcpy; narrower payloads widen
+/// exactly. Throws on dimension mismatch or a narrowing destination.
+void deserialize_into(const WirePayload& p, AnyTile& dst);
+
+/// Fault-injection helper (FaultKind::WireCorrupt): set high mantissa bits
+/// of every element in place. ORing (rather than XORing) the mask inflates
+/// magnitudes deterministically, which reliably destroys the SPD structure
+/// of a factorization panel — the downstream POTRF then fails with a genuine
+/// NotPositiveDefinite and the escalation ladder takes over.
+void corrupt_payload_mantissa(WirePayload& p);
+
+}  // namespace mpgeo

@@ -73,17 +73,22 @@ void finalize_report(ExecutionReport& report, std::size_t num_tasks,
 // for a total order.
 // ---------------------------------------------------------------------------
 
-constexpr int kNumClasses = 7;
+constexpr int kNumClasses = 9;
 
 int kind_class(KernelKind kind) {
   switch (kind) {
     case KernelKind::POTRF: return 0;
     case KernelKind::TRSM: return 1;
-    case KernelKind::CONVERT: return 2;
-    case KernelKind::SYRK: return 3;
-    case KernelKind::GENERATE: return 4;
-    case KernelKind::GEMM: return 5;
-    case KernelKind::CUSTOM: return 6;
+    // Wire tasks gate remote consumers the same way panels gate iterations:
+    // a queued SEND/RECV is another rank waiting, so it preempts local
+    // trailing updates.
+    case KernelKind::SEND: return 2;
+    case KernelKind::RECV: return 3;
+    case KernelKind::CONVERT: return 4;
+    case KernelKind::SYRK: return 5;
+    case KernelKind::GENERATE: return 6;
+    case KernelKind::GEMM: return 7;
+    case KernelKind::CUSTOM: return 8;
   }
   return kNumClasses - 1;
 }
@@ -299,12 +304,22 @@ class WorkStealingRun {
   ExecutionReport run() {
     const std::size_t n = resolve_thread_count(options_, graph_.num_tasks());
     workers_ = std::vector<WorkerState>(n);
+    nshards_ = options_.rank_shards
+                   ? std::min<std::size_t>(options_.rank_shards, n)
+                   : 1;
+    shards_ = std::make_unique<ShardState[]>(nshards_);
 
-    // Seed the roots round-robin so every worker starts with local work.
+    // Seed the roots round-robin so every worker starts with local work;
+    // rank-tagged roots go to a worker of their shard instead.
     std::size_t w = 0;
     for (TaskId t : graph_.roots()) {
-      push_local(workers_[w], t);
-      w = (w + 1) % n;
+      const int r = graph_.task(t).info.rank;
+      if (r >= 0 && nshards_ > 1) {
+        push_local(pick_worker(std::size_t(r) % nshards_), t);
+      } else {
+        push_local(w, t);
+        w = (w + 1) % n;
+      }
     }
 
     Stopwatch clock;
@@ -349,7 +364,31 @@ class WorkStealingRun {
     return options_.use_priorities ? kind_class(graph_.task(id).info.kind) : 0;
   }
 
-  void push_local(WorkerState& ws, TaskId id) {
+  // -------------------------------------------------------------------------
+  // Rank sharding. Worker w belongs to shard w % nshards_; a task tagged
+  // rank r runs only on shard r % nshards_ (routed on push, never stolen
+  // across shards). Ready-work accounting (the queued counter the park/wake
+  // handshake keys off) is per shard — a global counter would let a worker
+  // whose own shard drained busy-spin forever on work it is not allowed to
+  // take. nshards_ == 1 (the default) degenerates to the original scheduler.
+  // -------------------------------------------------------------------------
+
+  std::size_t shard_of(std::size_t worker) const { return worker % nshards_; }
+
+  /// Number of workers in shard s ( = |{w : w % nshards_ == s}| ).
+  std::size_t shard_size(std::size_t s) const {
+    return (workers_.size() - s + nshards_ - 1) / nshards_;
+  }
+
+  /// Round-robin worker of shard s, for remote pushes and root seeding.
+  std::size_t pick_worker(std::size_t s) {
+    const std::size_t i =
+        shards_[s].rr.fetch_add(1, std::memory_order_relaxed) % shard_size(s);
+    return s + i * nshards_;
+  }
+
+  void push_local(std::size_t target, TaskId id) {
+    WorkerState& ws = workers_[target];
     int depth = 0;
     {
       std::lock_guard lk(ws.mu);
@@ -357,17 +396,18 @@ class WorkStealingRun {
       depth = ws.approx_size.fetch_add(1, std::memory_order_relaxed) + 1;
     }
     metrics_.max_queue_depth.set_max(double(depth));
-    queued_.fetch_add(1, std::memory_order_seq_cst);
+    shards_[shard_of(target)].queued.fetch_add(1, std::memory_order_seq_cst);
   }
 
-  bool pop_local(WorkerState& ws, TaskId& id) {
+  bool pop_local(std::size_t self, TaskId& id) {
+    WorkerState& ws = workers_[self];
     std::lock_guard lk(ws.mu);
     for (auto& bucket : ws.buckets) {
       if (!bucket.empty()) {
         id = bucket.back();  // LIFO: hottest data first
         bucket.pop_back();
         ws.approx_size.fetch_sub(1, std::memory_order_relaxed);
-        queued_.fetch_sub(1, std::memory_order_seq_cst);
+        shards_[shard_of(self)].queued.fetch_sub(1, std::memory_order_seq_cst);
         return true;
       }
     }
@@ -375,9 +415,14 @@ class WorkStealingRun {
   }
 
   bool try_steal(std::size_t self, TaskId& id) {
-    const std::size_t n = workers_.size();
-    for (std::size_t hop = 1; hop < n; ++hop) {
-      WorkerState& victim = workers_[(self + hop) % n];
+    // Victims are the other workers of self's shard only: everything in a
+    // shard-s queue is runnable on shard s (routed there on push), and
+    // nothing outside it is.
+    const std::size_t s = shard_of(self);
+    const std::size_t cnt = shard_size(s);
+    const std::size_t i0 = self / nshards_;  // self's index within the shard
+    for (std::size_t hop = 1; hop < cnt; ++hop) {
+      WorkerState& victim = workers_[s + ((i0 + hop) % cnt) * nshards_];
       if (victim.approx_size.load(std::memory_order_relaxed) <= 0) continue;
       std::lock_guard lk(victim.mu);
       for (auto& bucket : victim.buckets) {
@@ -385,7 +430,7 @@ class WorkStealingRun {
           id = bucket.front();  // FIFO: oldest task, largest subgraph
           bucket.pop_front();
           victim.approx_size.fetch_sub(1, std::memory_order_relaxed);
-          queued_.fetch_sub(1, std::memory_order_seq_cst);
+          shards_[s].queued.fetch_sub(1, std::memory_order_seq_cst);
           metrics_.steals.add_sharded(1, self);
           return true;
         }
@@ -404,7 +449,12 @@ class WorkStealingRun {
   void park(std::size_t self) {
     WorkerState& ws = workers_[self];
     std::unique_lock lk(park_mu_);
-    if (done() || queued_.load(std::memory_order_seq_cst) > 0) return;
+    // Only this worker's own shard counter matters: work queued on another
+    // shard is work this worker may not take, so it must not keep it awake.
+    if (done() ||
+        shards_[shard_of(self)].queued.load(std::memory_order_seq_cst) > 0) {
+      return;
+    }
     sleepers_.push_back(self);
     num_sleepers_.store(sleepers_.size(), std::memory_order_seq_cst);
     ws.wake_signal = false;
@@ -412,13 +462,31 @@ class WorkStealingRun {
     ws.park_cv.wait(lk, [&ws] { return ws.wake_signal; });
   }
 
-  /// Wake one parked worker (targeted: only that worker's condvar fires).
-  void wake_one() {
+  /// Wake one parked worker of shard s (targeted: only its condvar fires).
+  void wake_one(std::size_t s) {
     if (num_sleepers_.load(std::memory_order_seq_cst) == 0) return;
     std::lock_guard lk(park_mu_);
-    if (sleepers_.empty()) return;
-    const std::size_t w = sleepers_.back();
-    sleepers_.pop_back();
+    for (auto it = sleepers_.rbegin(); it != sleepers_.rend(); ++it) {
+      if (shard_of(*it) != s) continue;
+      const std::size_t w = *it;
+      sleepers_.erase(std::next(it).base());
+      num_sleepers_.store(sleepers_.size(), std::memory_order_seq_cst);
+      workers_[w].wake_signal = true;
+      metrics_.wakeups.add();
+      workers_[w].park_cv.notify_one();
+      return;
+    }
+  }
+
+  /// Wake worker w specifically if it is parked (remote cross-shard pushes
+  /// target one worker; the push's seq_cst queued increment happens before
+  /// this call, so w either gets woken here or sees the counter in park()).
+  void wake_worker(std::size_t w) {
+    if (num_sleepers_.load(std::memory_order_seq_cst) == 0) return;
+    std::lock_guard lk(park_mu_);
+    auto it = std::find(sleepers_.begin(), sleepers_.end(), w);
+    if (it == sleepers_.end()) return;
+    sleepers_.erase(it);
     num_sleepers_.store(sleepers_.size(), std::memory_order_seq_cst);
     workers_[w].wake_signal = true;
     metrics_.wakeups.add();
@@ -436,10 +504,9 @@ class WorkStealingRun {
   }
 
   void worker_loop(std::size_t self, const Stopwatch& clock) {
-    WorkerState& ws = workers_[self];
     while (!done()) {
       TaskId id;
-      if (pop_local(ws, id) || try_steal(self, id)) {
+      if (pop_local(self, id) || try_steal(self, id)) {
         run_task(self, id, clock);
         continue;
       }
@@ -447,7 +514,7 @@ class WorkStealingRun {
       // be mid-retire), then park until a retire frees work.
       std::this_thread::yield();
       if (done()) break;
-      if (pop_local(ws, id) || try_steal(self, id)) {
+      if (pop_local(self, id) || try_steal(self, id)) {
         run_task(self, id, clock);
         continue;
       }
@@ -492,27 +559,50 @@ class WorkStealingRun {
     // transfers ownership of the successor to this worker. Poison flags are
     // stored before the release-ordered decrement, so whichever worker
     // claims the successor observes them (release-sequence on indegree_).
-    std::size_t freed = 0;
+    // Successors pinned to another shard are pushed to a round-robin worker
+    // there (with a targeted wakeup); untagged/same-shard ones stay local.
+    const std::size_t my_shard = shard_of(self);
+    std::size_t freed_local = 0;
     for (TaskId succ : task.successors) {
       if (st != TaskStatus::Completed) {
         poisoned_[succ].store(1, std::memory_order_relaxed);
       }
       if (indegree_[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        push_local(ws, succ);
-        ++freed;
+        const int r = graph_.task(succ).info.rank;
+        const std::size_t target_shard =
+            (r < 0 || nshards_ == 1) ? my_shard : std::size_t(r) % nshards_;
+        if (target_shard == my_shard) {
+          push_local(self, succ);
+          ++freed_local;
+        } else {
+          const std::size_t target = pick_worker(target_shard);
+          push_local(target, succ);
+          wake_worker(target);
+        }
       }
     }
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       wake_all();  // last retire: quiesce the pool
       return;
     }
-    // Keep one freed task for ourselves (we pop it next iteration); surplus
-    // tasks get one targeted wakeup each so thieves come for them.
-    for (std::size_t i = 1; i < freed; ++i) wake_one();
-    if (freed == 1 && ws.approx_size.load(std::memory_order_relaxed) > 1) {
-      wake_one();  // backlog behind the task we kept: invite a thief
+    // Keep one locally-freed task for ourselves (we pop it next iteration);
+    // surplus tasks get one targeted wakeup each so same-shard thieves come.
+    for (std::size_t i = 1; i < freed_local; ++i) wake_one(my_shard);
+    if (freed_local == 1 && ws.approx_size.load(std::memory_order_relaxed) > 1) {
+      wake_one(my_shard);  // backlog behind the task we kept: invite a thief
     }
   }
+
+  /// Per-shard scheduler state, cache-line padded (every push/pop touches
+  /// exactly one shard's counter).
+  struct alignas(64) ShardState {
+    /// Count of queued-but-unclaimed tasks runnable on this shard; the
+    /// park/wake handshake keys off it (seq_cst so a parker's check and a
+    /// pusher's increment are ordered).
+    std::atomic<std::int64_t> queued{0};
+    /// Round-robin cursor for remote pushes into this shard.
+    std::atomic<std::size_t> rr{0};
+  };
 
   const TaskGraph& graph_;
   const ExecutorOptions& options_;
@@ -520,9 +610,8 @@ class WorkStealingRun {
   std::atomic<std::size_t> remaining_;
   std::unique_ptr<std::atomic<std::uint32_t>[]> indegree_;
   std::vector<WorkerState> workers_;
-  /// Count of queued-but-unclaimed tasks; the park/wake handshake keys off
-  /// it (seq_cst so a parker's check and a pusher's increment are ordered).
-  std::atomic<std::int64_t> queued_{0};
+  std::size_t nshards_ = 1;
+  std::unique_ptr<ShardState[]> shards_;
   std::mutex park_mu_;
   std::vector<std::size_t> sleepers_;
   std::atomic<std::size_t> num_sleepers_{0};

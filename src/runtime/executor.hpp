@@ -109,6 +109,17 @@ struct ExecutorOptions {
   /// which is the fastest shape for a single big factorization. Ignored
   /// when `session` is set.
   bool use_shared_pool = false;
+  /// Rank-sharded execution (src/dist): partition the worker pool into this
+  /// many shards and pin every task whose TaskInfo::rank >= 0 to the shard
+  /// `rank % rank_shards` — worker w belongs to shard `w % rank_shards`.
+  /// Stealing is restricted to same-shard victims, so a shard behaves like
+  /// one rank's private pool while untagged tasks (rank < 0) stay wherever
+  /// they were spawned. 0 = off (single shard, the default). Only the
+  /// work-stealing scheduler enforces affinity; the seed scheduler and the
+  /// session path run rank-tagged graphs unsharded (numerics are dataflow-
+  /// ordered either way, so results are identical — affinity is a locality
+  /// model, not a correctness requirement).
+  std::size_t rank_shards = 0;
 };
 
 /// Run every task body in dependency order, in parallel. Graph tasks with a

@@ -80,17 +80,19 @@ namespace {
 
 // Kind-class priority buckets, mirroring the work-stealing scheduler in
 // executor.cpp (panel kinds preempt trailing updates).
-constexpr int kNumClasses = 7;
+constexpr int kNumClasses = 9;
 
 int kind_class(KernelKind kind) {
   switch (kind) {
     case KernelKind::POTRF: return 0;
     case KernelKind::TRSM: return 1;
-    case KernelKind::CONVERT: return 2;
-    case KernelKind::SYRK: return 3;
-    case KernelKind::GENERATE: return 4;
-    case KernelKind::GEMM: return 5;
-    case KernelKind::CUSTOM: return 6;
+    case KernelKind::SEND: return 2;
+    case KernelKind::RECV: return 3;
+    case KernelKind::CONVERT: return 4;
+    case KernelKind::SYRK: return 5;
+    case KernelKind::GENERATE: return 6;
+    case KernelKind::GEMM: return 7;
+    case KernelKind::CUSTOM: return 8;
   }
   return kNumClasses - 1;
 }

@@ -29,6 +29,7 @@ std::string to_string(FaultKind kind) {
     case FaultKind::TaskException: return "exception";
     case FaultKind::ConvertNaN: return "nan";
     case FaultKind::ConvertOverflow: return "overflow";
+    case FaultKind::WireCorrupt: return "wire";
   }
   return "?";
 }
@@ -81,6 +82,12 @@ std::optional<double> FaultInjector::corruption(TaskId task, KernelKind kind) {
   return 1e30;
 }
 
+bool FaultInjector::payload_corruption(TaskId task, KernelKind kind) {
+  if (opts_.kind != FaultKind::WireCorrupt) return false;
+  if (!armed(task, kind)) return false;
+  return consume_budget();
+}
+
 FaultInjectionOptions parse_fault_spec(const std::string& spec) {
   const std::size_t c1 = spec.find(':');
   const std::size_t c2 = c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
@@ -94,9 +101,11 @@ FaultInjectionOptions parse_fault_spec(const std::string& spec) {
     out.kind = FaultKind::ConvertNaN;
   } else if (kind == "overflow") {
     out.kind = FaultKind::ConvertOverflow;
+  } else if (kind == "wire") {
+    out.kind = FaultKind::WireCorrupt;
   } else {
     MPGEO_REQUIRE(false, "--inject-fault: unknown kind '" + kind +
-                             "' (want exception|nan|overflow)");
+                             "' (want exception|nan|overflow|wire)");
   }
   try {
     out.probability = std::stod(spec.substr(c1 + 1, c2 - c1 - 1));

@@ -38,6 +38,7 @@ enum class FaultKind {
   TaskException,    ///< throw InjectedFault from the executor before the body
   ConvertNaN,       ///< corrupt one tile entry with a quiet NaN
   ConvertOverflow,  ///< corrupt one tile entry with a value overflowing FP16
+  WireCorrupt,      ///< flip mantissa bits in a serialized dist payload
 };
 
 std::string to_string(FaultKind kind);
@@ -85,6 +86,12 @@ class FaultInjector {
   /// when this task is not hit. Consumes budget on a hit.
   std::optional<double> corruption(TaskId task, KernelKind kind);
 
+  /// SEND hook for WireCorrupt faults: true when this task's serialized
+  /// payload should have mantissa bits flipped before it ships (the dist
+  /// layer then calls corrupt_payload_mantissa on the wire bytes). Consumes
+  /// budget on a hit.
+  bool payload_corruption(TaskId task, KernelKind kind);
+
   /// Faults actually delivered so far.
   std::uint64_t injections() const {
     return injections_.load(std::memory_order_relaxed);
@@ -101,7 +108,7 @@ class FaultInjector {
 };
 
 /// Parse a "kind:prob:seed" bench/CLI spec, e.g. "exception:0.1:42",
-/// "nan:1:7", "overflow:0.25:3". Kinds: exception | nan | overflow.
+/// "nan:1:7", "overflow:0.25:3". Kinds: exception | nan | overflow | wire.
 FaultInjectionOptions parse_fault_spec(const std::string& spec);
 
 }  // namespace mpgeo

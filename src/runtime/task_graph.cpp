@@ -15,6 +15,8 @@ std::string to_string(KernelKind k) {
     case KernelKind::GEMM: return "GEMM";
     case KernelKind::CONVERT: return "CONVERT";
     case KernelKind::GENERATE: return "GENERATE";
+    case KernelKind::SEND: return "SEND";
+    case KernelKind::RECV: return "RECV";
     case KernelKind::CUSTOM: return "CUSTOM";
   }
   MPGEO_ASSERT(false);

@@ -55,6 +55,8 @@ enum class KernelKind {
   GEMM,
   CONVERT,  ///< datatype conversion (the cost STC shifts to the sender)
   GENERATE, ///< covariance tile generation
+  SEND,     ///< serialize + ship a tile across a rank boundary (dist)
+  RECV,     ///< deserialize a shipped payload into a rank-local replica
   CUSTOM,
 };
 
@@ -86,6 +88,10 @@ struct TaskInfo {
   /// fixed cost the STC/TTC comparison amortizes — so the cost model charges
   /// it per conversion, not per byte.
   int extra_conv_count = 0;
+  /// Owning rank under sharded (distributed) execution; -1 = unconstrained.
+  /// The work-stealing executor pins rank-tagged tasks to the matching
+  /// thread-pool shard (ExecutorOptions::rank_shards).
+  int rank = -1;
 };
 
 /// A logical datum (a tile). `bytes` is its at-rest footprint; used as the
